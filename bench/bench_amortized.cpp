@@ -1,0 +1,94 @@
+// E2 — the Section 3.4 amortized bound: t̂(S) = O(n(S) + c(S)).
+//
+// Two sweeps over a random mixed workload on FRList, measured in the
+// paper's essential-step units:
+//
+//   (a) list size n grows at fixed thread count     -> steps/op must grow
+//       LINEARLY in n (the O(n(S)) necessary-cost term): steps/op ÷ n
+//       converges to a constant.
+//   (b) thread count grows at fixed n               -> steps/op must grow
+//       by at most an ADDITIVE O(c(S)) term: the concurrency overhead
+//       (steps/op minus the single-thread baseline) stays within a small
+//       multiple of the measured average contention, far below n.
+#include <iostream>
+
+#include "lf/core/fr_list.h"
+#include "lf/harness/bench_env.h"
+#include "lf/harness/table.h"
+#include "lf/workload/runner.h"
+
+namespace {
+
+lf::workload::RunResult measure(int threads, std::uint64_t n,
+                                std::uint64_t total_ops) {
+  lf::FRList<long, long> list;
+  lf::workload::RunConfig cfg;
+  cfg.threads = threads;
+  cfg.ops_per_thread = total_ops / static_cast<std::uint64_t>(threads);
+  cfg.key_space = 2 * n;  // steady state keeps ~n keys present
+  cfg.prefill = n;
+  cfg.mix = {25, 25};  // 25i/25d/50s
+  cfg.seed = 7;
+  lf::workload::prefill(list, cfg);
+  return lf::workload::run_workload(list, cfg);
+}
+
+}  // namespace
+
+int main() {
+  lf::harness::print_environment(
+      "E2 (Section 3.4)",
+      "amortized cost O(n(S) + c(S)): linear in size, additive in "
+      "contention");
+
+  lf::harness::print_section("(a) steps/op vs list size n  (threads = 4)");
+  {
+    lf::harness::Table table(
+        {"n", "ops", "steps/op", "steps/op / n", "CAS/op", "avg c(S)"});
+    for (std::uint64_t n : {128u, 256u, 512u, 1024u, 2048u, 4096u, 8192u}) {
+      const std::uint64_t ops = std::max<std::uint64_t>(40'000, 4u * n);
+      const auto res = measure(4, n, ops);
+      table.add_row({std::to_string(n), std::to_string(res.total_ops),
+                     lf::harness::Table::num(res.steps_per_op(), 1),
+                     lf::harness::Table::num(res.steps_per_op() /
+                                                 static_cast<double>(n),
+                                             4),
+                     lf::harness::Table::num(res.cas_per_op(), 2),
+                     lf::harness::Table::num(res.avg_contention, 2)});
+    }
+    table.print();
+    std::cout << "Linear claim holds when steps/op / n settles to a "
+                 "constant (~the fraction of the list a mixed op "
+                 "traverses).\n\n";
+  }
+
+  lf::harness::print_section("(b) steps/op vs thread count  (n = 1024)");
+  {
+    const auto base = measure(1, 1024, 60'000);
+    lf::harness::Table table({"threads", "steps/op", "overhead vs t=1",
+                              "avg c(S)", "CAS fail/op", "helps/op"});
+    for (int t : {1, 2, 4, 8, 16}) {
+      const auto res = measure(t, 1024, 60'000);
+      const double helps =
+          static_cast<double>(res.steps.help_marked +
+                              res.steps.help_flagged) /
+          static_cast<double>(res.total_ops);
+      table.add_row(
+          {std::to_string(t),
+           lf::harness::Table::num(res.steps_per_op(), 1),
+           lf::harness::Table::num(res.steps_per_op() - base.steps_per_op(),
+                                   1),
+           lf::harness::Table::num(res.avg_contention, 2),
+           lf::harness::Table::num(
+               static_cast<double>(res.steps.cas_failures()) /
+                   static_cast<double>(res.total_ops),
+               4),
+           lf::harness::Table::num(helps, 4)});
+    }
+    table.print();
+    std::cout << "Additive claim holds when the overhead column stays "
+                 "within a small multiple of avg c(S) — orders of "
+                 "magnitude below n = 1024.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Micro-latency benchmarks (google-benchmark): per-operation wall costs of
+// the core structures at several sizes, single-threaded and with
+// benchmark's thread support. Complements the experiment binaries (E1-E10),
+// which report the paper's step metric; this one is for profiling-grade
+// per-op timing (allocation, cache effects, guard overhead).
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "lf/baselines/harris_list.h"
+#include "lf/core/fr_list.h"
+#include "lf/core/fr_skiplist.h"
+#include "lf/util/random.h"
+
+namespace {
+
+// One shared, prefilled instance per (type, size): reused across benchmark
+// repetitions and shared by the Threads() variants. Deliberately leaked at
+// process exit.
+template <typename Set>
+Set& shared_set(long n) {
+  static std::mutex mu;
+  static auto* sets = new std::map<long, std::unique_ptr<Set>>;
+  std::lock_guard lock(mu);
+  auto& slot = (*sets)[n];
+  if (!slot) {
+    slot = std::make_unique<Set>();
+    for (long k = 0; k < n; ++k) slot->insert(2 * k, k);  // evens only
+  }
+  return *slot;
+}
+
+template <typename Set>
+void BM_Contains(benchmark::State& state) {
+  Set& set = shared_set<Set>(state.range(0));
+  lf::Xoshiro256 rng(1234 + static_cast<unsigned>(state.thread_index()));
+  const auto span = static_cast<std::uint64_t>(2 * state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        set.contains(static_cast<long>(rng.below(span))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+template <typename Set>
+void BM_InsertErasePair(benchmark::State& state) {
+  Set& set = shared_set<Set>(state.range(0));
+  lf::Xoshiro256 rng(99 + static_cast<unsigned>(state.thread_index()));
+  const auto span = static_cast<std::uint64_t>(2 * state.range(0));
+  for (auto _ : state) {
+    const long k = static_cast<long>(rng.below(span)) | 1;  // odd keys only
+    set.insert(k, k);
+    set.erase(k);
+  }
+  state.SetItemsProcessed(2 * state.iterations());
+}
+
+using FR = lf::FRList<long, long>;
+using Skip = lf::FRSkipList<long, long>;
+using Harris = lf::HarrisList<long, long>;
+
+}  // namespace
+
+BENCHMARK(BM_Contains<FR>)->Arg(256)->Arg(2048);
+BENCHMARK(BM_Contains<Skip>)->Arg(2048)->Arg(65536);
+BENCHMARK(BM_Contains<Harris>)->Arg(256)->Arg(2048);
+BENCHMARK(BM_InsertErasePair<FR>)->Arg(256);
+BENCHMARK(BM_InsertErasePair<Skip>)->Arg(2048);
+BENCHMARK(BM_InsertErasePair<Harris>)->Arg(256);
+BENCHMARK(BM_Contains<Skip>)->Arg(16384)->Threads(4)->UseRealTime();
+BENCHMARK(BM_InsertErasePair<Skip>)->Arg(2048)->Threads(4)->UseRealTime();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// E5 — the skip list's expected O(log n) cost (Section 4: "searches,
+// insertions, and deletions have an expected cost of O(log n)").
+//
+// Search-only workload over exponentially growing n: steps/op must track
+// c·log2(n), i.e. the steps/op ÷ log2(n) column settles to a constant,
+// against a linear-scan linked-list column that doubles per row.
+#include <cmath>
+#include <iostream>
+
+#include "lf/core/fr_list.h"
+#include "lf/core/fr_skiplist.h"
+#include "lf/harness/bench_env.h"
+#include "lf/harness/table.h"
+#include "lf/workload/runner.h"
+
+namespace {
+
+template <typename Set>
+lf::workload::RunResult search_only(int threads, std::uint64_t n,
+                                    std::uint64_t total_ops) {
+  Set set;
+  lf::workload::RunConfig cfg;
+  cfg.threads = threads;
+  cfg.ops_per_thread = total_ops / static_cast<std::uint64_t>(threads);
+  cfg.key_space = n;   // search over exactly the stored range
+  cfg.prefill = n / 2;
+  cfg.mix = {0, 0};  // search-only
+  cfg.seed = 17;
+  lf::workload::prefill(set, cfg);
+  return lf::workload::run_workload(set, cfg);
+}
+
+}  // namespace
+
+int main() {
+  lf::harness::print_environment(
+      "E5 (Section 4)",
+      "skip-list operations cost O(log n) expected; the level-1-only list "
+      "costs Θ(n)");
+
+  lf::harness::print_section("search-only steps/op vs n  (threads = 1)");
+  lf::harness::Table table({"n", "skiplist steps/op", "/log2(n)",
+                            "list steps/op", "/n", "speedup"});
+  for (std::uint64_t n : {256u, 1024u, 4096u, 16384u, 65536u, 131072u}) {
+    const auto skip =
+        search_only<lf::FRSkipList<long, long>>(1, n, 20'000);
+    // The linear baseline gets fewer ops at large n to bound runtime.
+    const std::uint64_t list_ops = n >= 16384 ? 2'000 : 10'000;
+    const auto list = search_only<lf::FRList<long, long>>(1, n, list_ops);
+    const double lg = std::log2(static_cast<double>(n));
+    table.add_row(
+        {std::to_string(n),
+         lf::harness::Table::num(skip.steps_per_op(), 1),
+         lf::harness::Table::num(skip.steps_per_op() / lg, 2),
+         lf::harness::Table::num(list.steps_per_op(), 1),
+         lf::harness::Table::num(list.steps_per_op() /
+                                     static_cast<double>(n),
+                                 4),
+         lf::harness::Table::ratio(list.steps_per_op(),
+                                   skip.steps_per_op())});
+  }
+  table.print();
+
+  lf::harness::print_section(
+      "same sweep under concurrency  (threads = 4, mixed 10i/10d/80s)");
+  lf::harness::Table table2({"n", "skiplist steps/op", "/log2(n)",
+                             "avg c(S)"});
+  for (std::uint64_t n : {1024u, 8192u, 65536u}) {
+    lf::FRSkipList<long, long> s;
+    lf::workload::RunConfig cfg;
+    cfg.threads = 4;
+    cfg.ops_per_thread = 10'000;
+    cfg.key_space = n;
+    cfg.prefill = n / 2;
+    cfg.mix = {10, 10};
+    lf::workload::prefill(s, cfg);
+    const auto res = lf::workload::run_workload(s, cfg);
+    const double lg = std::log2(static_cast<double>(n));
+    table2.add_row({std::to_string(n),
+                    lf::harness::Table::num(res.steps_per_op(), 1),
+                    lf::harness::Table::num(res.steps_per_op() / lg, 2),
+                    lf::harness::Table::num(res.avg_contention, 2)});
+  }
+  table2.print();
+  std::cout << "O(log n) holds when the /log2(n) column is flat while the\n"
+               "linked list's /n column is flat (i.e. the list is linear).\n";
+  return 0;
+}

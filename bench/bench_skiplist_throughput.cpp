@@ -1,0 +1,86 @@
+// E4 — skip-list comparison: the paper's design (FR levels with backlinks
+// and flags) vs a Fraser/Harris-style restart skip list (models reference
+// [2]) vs a reader/writer-locked Pugh skip list (models [11], [13]).
+#include <iostream>
+#include <string>
+
+#include "lf/baselines/restart_skiplist.h"
+#include "lf/baselines/rwlock_skiplist.h"
+#include "lf/core/fr_skiplist.h"
+#include "lf/harness/bench_env.h"
+#include "lf/harness/table.h"
+#include "lf/workload/runner.h"
+
+namespace {
+
+template <typename Set>
+lf::workload::RunResult measure(int threads, std::uint64_t n,
+                                lf::workload::OpMix mix,
+                                std::uint64_t total_ops) {
+  Set set;
+  lf::workload::RunConfig cfg;
+  cfg.threads = threads;
+  cfg.ops_per_thread = total_ops / static_cast<std::uint64_t>(threads);
+  cfg.key_space = 2 * n;
+  cfg.prefill = n;
+  cfg.mix = mix;
+  cfg.seed = 13;
+  lf::workload::prefill(set, cfg);
+  return lf::workload::run_workload(set, cfg);
+}
+
+struct Impl {
+  const char* name;
+  lf::workload::RunResult (*run)(int, std::uint64_t, lf::workload::OpMix,
+                                 std::uint64_t);
+};
+
+const Impl kImpls[] = {
+    {"FRSkipList (paper)", &measure<lf::FRSkipList<long, long>>},
+    {"RestartSkipList", &measure<lf::RestartSkipList<long, long>>},
+    {"RWLockSkipList", &measure<lf::RWLockSkipList<long, long>>},
+};
+
+void grid(std::uint64_t n, lf::workload::OpMix mix, std::uint64_t ops) {
+  lf::harness::print_section("n = " + std::to_string(n) + ", mix " +
+                             mix.name());
+  lf::harness::Table table({"impl", "t=1 Mops", "t=2 Mops", "t=4 Mops",
+                            "t=8 Mops", "steps/op (t=4)", "restarts/op"});
+  for (const Impl& impl : kImpls) {
+    std::string cells[4];
+    double steps4 = 0, restarts4 = 0;
+    int i = 0;
+    for (int t : {1, 2, 4, 8}) {
+      const auto res = impl.run(t, n, mix, ops);
+      cells[i++] = lf::harness::Table::num(res.mops_per_sec(), 2);
+      if (t == 4) {
+        steps4 = res.steps_per_op();
+        restarts4 = static_cast<double>(res.steps.restart) /
+                    static_cast<double>(res.total_ops);
+      }
+    }
+    table.add_row({impl.name, cells[0], cells[1], cells[2], cells[3],
+                   lf::harness::Table::num(steps4, 1),
+                   lf::harness::Table::num(restarts4, 4)});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  lf::harness::print_environment(
+      "E4 (Section 4, Section 2)",
+      "FR skip list is competitive with restart-style lock-free skip lists "
+      "and beats lock-based ones under update load, without restarts");
+
+  grid(16'384, {10, 10}, 60'000);
+  grid(16'384, {30, 30}, 60'000);
+  grid(1'024, {50, 50}, 60'000);
+
+  std::cout << "The restart column shows the recovery-strategy difference:\n"
+               "the FR skip list's is always 0 (backlink recovery); the\n"
+               "restart skip list re-descends from the top of the head\n"
+               "tower on every interference.\n";
+  return 0;
+}

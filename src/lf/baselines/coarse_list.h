@@ -1,0 +1,122 @@
+// CoarseList — a mutex-protected sorted singly-linked list.
+//
+// The lock-based strawman: every operation takes one global lock, so there
+// is no concurrency at all inside the structure. It demonstrates (a) the
+// semantics every other implementation must match (it is trivially
+// linearizable), and (b) the blocking behaviour the paper's introduction
+// argues against ("a delay of one process can cause performance
+// degradation and priority inversion").
+//
+// Traversal steps are tallied like the lock-free lists' so that
+// step-per-operation comparisons in the benches are apples-to-apples.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "lf/instrument/counters.h"
+
+namespace lf {
+
+template <typename Key, typename T = Key, typename Compare = std::less<Key>>
+class CoarseList {
+ public:
+  using key_type = Key;
+  using mapped_type = T;
+  using key_compare = Compare;
+
+  CoarseList() = default;
+
+  ~CoarseList() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next;
+      delete n;
+      n = next;
+    }
+  }
+
+  CoarseList(const CoarseList&) = delete;
+  CoarseList& operator=(const CoarseList&) = delete;
+
+  bool insert(const Key& k, T value) {
+    std::lock_guard lock(mu_);
+    auto [prev, curr] = locate(k);
+    bool inserted = false;
+    if (curr == nullptr || comp_(k, curr->key)) {
+      Node* node = new Node{k, std::move(value), curr};
+      (prev == nullptr ? head_ : prev->next) = node;
+      ++size_;
+      inserted = true;
+    }
+    stats::tls().op_insert.inc();
+    return inserted;
+  }
+
+  bool erase(const Key& k) {
+    std::lock_guard lock(mu_);
+    auto [prev, curr] = locate(k);
+    bool erased = false;
+    if (curr != nullptr && !comp_(k, curr->key)) {
+      (prev == nullptr ? head_ : prev->next) = curr->next;
+      delete curr;
+      --size_;
+      erased = true;
+    }
+    stats::tls().op_erase.inc();
+    return erased;
+  }
+
+  std::optional<T> find(const Key& k) const {
+    std::lock_guard lock(mu_);
+    auto [prev, curr] = locate(k);
+    (void)prev;
+    std::optional<T> out;
+    if (curr != nullptr && !comp_(k, curr->key)) out.emplace(curr->value);
+    stats::tls().op_search.inc();
+    return out;
+  }
+
+  bool contains(const Key& k) const {
+    std::lock_guard lock(mu_);
+    auto [prev, curr] = locate(k);
+    (void)prev;
+    stats::tls().op_search.inc();
+    return curr != nullptr && !comp_(k, curr->key);
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return size_;
+  }
+
+ private:
+  struct Node {
+    Key key;
+    T value;
+    Node* next;
+  };
+
+  // (prev, curr) with prev.key < k <= curr.key; null prev means head slot.
+  std::pair<Node*, Node*> locate(const Key& k) const {
+    auto& c = stats::tls();
+    Node* prev = nullptr;
+    Node* curr = head_;
+    while (curr != nullptr && comp_(curr->key, k)) {
+      prev = curr;
+      curr = curr->next;
+      c.curr_update.inc();
+    }
+    return {prev, curr};
+  }
+
+  mutable std::mutex mu_;
+  Compare comp_;
+  Node* head_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace lf

@@ -1,0 +1,145 @@
+#include "lf/chk/linearizability.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace lf::chk {
+namespace {
+
+// A set state is one bit per key.
+using State = std::uint64_t;
+// Which ops of the current chunk have been linearized.
+using Mask = std::uint64_t;
+
+// Apply op to state; returns false if the recorded result contradicts the
+// sequential set semantics.
+bool apply(OpKind kind, std::uint32_t key, bool result, State& state) {
+  const State bit = State{1} << key;
+  switch (kind) {
+    case OpKind::kInsert:
+      if (result == ((state & bit) != 0)) return false;  // ok iff was absent
+      state |= bit;
+      return true;
+    case OpKind::kErase:
+      if (result != ((state & bit) != 0)) return false;  // ok iff was present
+      state &= ~bit;
+      return true;
+    case OpKind::kContains:
+      return result == ((state & bit) != 0);
+  }
+  return false;
+}
+
+struct PairHash {
+  std::size_t operator()(const std::pair<Mask, State>& p) const noexcept {
+    // splitmix-style mix of the two words.
+    std::uint64_t z = p.first ^ (p.second * 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};
+
+// Exhaustive linearization search within one chunk: from `state`, try every
+// not-yet-linearized op that is "minimal" (its invocation precedes the
+// earliest response among pending ops — no other op MUST come first).
+// Collects every reachable final state into `out`.
+class ChunkSolver {
+ public:
+  ChunkSolver(const std::vector<Event>& ops) : ops_(ops) {
+    full_ = (ops.size() == 64) ? ~Mask{0} : ((Mask{1} << ops.size()) - 1);
+  }
+
+  void solve(State entry, std::unordered_set<State>& out) {
+    out_ = &out;
+    dfs(0, entry);
+  }
+
+ private:
+  void dfs(Mask done, State state) {
+    if (done == full_) {
+      out_->insert(state);
+      return;
+    }
+    if (!seen_.insert({done, state}).second) return;
+    // The earliest response among pending ops bounds which ops may be
+    // linearized next: an op invoked after that response cannot precede it.
+    std::uint64_t min_response = ~std::uint64_t{0};
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if ((done >> i) & 1) continue;
+      min_response = std::min(min_response, ops_[i].response);
+    }
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if ((done >> i) & 1) continue;
+      if (ops_[i].invoke > min_response) continue;  // not minimal
+      State next = state;
+      if (!apply(ops_[i].kind, ops_[i].key, ops_[i].result, next)) continue;
+      dfs(done | (Mask{1} << i), next);
+    }
+  }
+
+  const std::vector<Event>& ops_;
+  Mask full_;
+  std::unordered_set<std::pair<Mask, State>, PairHash> seen_;
+  std::unordered_set<State>* out_ = nullptr;
+};
+
+}  // namespace
+
+std::vector<Event> HistoryRecorder::finish() const {
+  std::vector<Event> all;
+  for (const auto& log : per_thread_)
+    all.insert(all.end(), log.begin(), log.end());
+  return all;
+}
+
+CheckResult check_linearizable(std::vector<Event> history,
+                               std::uint32_t key_space) {
+  assert(key_space <= 64 && "state must fit one 64-bit mask");
+  (void)key_space;
+
+  CheckResult res;
+  res.events = history.size();
+  if (history.empty()) return res;
+
+  std::sort(history.begin(), history.end(),
+            [](const Event& a, const Event& b) { return a.invoke < b.invoke; });
+
+  // Split at quiescent cuts: position i starts a new chunk when every
+  // earlier op responded before op i was invoked. Chunks can then be solved
+  // independently, threading the set of possible states through.
+  std::vector<std::vector<Event>> chunks;
+  std::uint64_t max_response_so_far = 0;
+  for (const Event& e : history) {
+    if (chunks.empty() ||
+        (max_response_so_far < e.invoke && !chunks.back().empty())) {
+      chunks.emplace_back();
+    }
+    chunks.back().push_back(e);
+    max_response_so_far = std::max(max_response_so_far, e.response);
+  }
+  res.chunks = chunks.size();
+
+  std::unordered_set<State> states{State{0}};  // structure started empty
+  for (const auto& chunk : chunks) {
+    res.largest_chunk = std::max(res.largest_chunk, chunk.size());
+    if (chunk.size() > 64) {
+      // Wider than the solver's op bitmask: report and stop; the verdict
+      // covers the checked prefix only.
+      ++res.skipped_chunks;
+      return res;
+    }
+    std::unordered_set<State> next_states;
+    ChunkSolver solver(chunk);
+    for (State s : states) solver.solve(s, next_states);
+    if (next_states.empty()) {
+      res.linearizable = false;
+      return res;
+    }
+    states = std::move(next_states);
+  }
+  return res;
+}
+
+}  // namespace lf::chk

@@ -1,0 +1,564 @@
+// FRList — the lock-free sorted singly-linked list of Fomitchev & Ruppert,
+// "Lock-Free Linked Lists and Skip Lists", PODC 2004, Section 3.
+//
+// The data structure is a sorted singly-linked list between two sentinel
+// nodes (head = -inf, tail = +inf). Each node carries
+//
+//     succ     = (right pointer, mark bit, flag bit) in one CAS-able word
+//     backlink = pointer to the node's predecessor, set when it is deleted
+//
+// Deletion of node B with predecessor A is the paper's three-step protocol
+// (Figure 2):
+//
+//     1. FLAG      C&S A.succ (B,0,0) -> (B,0,1).  A's successor field is
+//                  now frozen: it cannot be redirected or marked until the
+//                  flag is removed, so B's backlink — about to be set to A —
+//                  will never point at a marked node.
+//     2. MARK      set B.backlink = A, then C&S B.succ (C,0,0) -> (C,1,0).
+//                  B is now logically deleted; a marked successor field
+//                  never changes again.
+//     3. UNLINK    C&S A.succ (B,0,1) -> (C,0,0): physically deletes B and
+//                  removes A's flag in the same step.
+//
+// An operation that fails a C&S because its target node got marked does NOT
+// restart from the head (Harris-style); it walks backlink pointers left
+// until it reaches an unmarked node and resumes from there. Because a node
+// is only marked while its predecessor is flagged — and a flagged node can
+// never be marked — backlink chains only ever grow to the LEFT, which is
+// precisely what bounds the recovery cost and yields the paper's amortized
+// bound  t̂(S) = O(n(S) + c(S))  (Section 3.4).
+//
+// Processes help one another (HelpFlagged / HelpMarked) so that a stalled
+// deleter can never block anyone: the implementation is lock-free.
+//
+// Linearization points (Section 3.3): successful insert at its successful
+// C&S; successful delete when the node becomes marked; searches at the
+// moment the SearchFrom postcondition (n1 unmarked and n1.right = n2) holds.
+//
+// Template parameters:
+//   Key, T      key and mapped value. Both must be default-constructible
+//               (sentinels value-initialize them) and T must be copyable
+//               (find() returns a copy made while the node is guarded).
+//   Compare     strict weak order on Key.
+//   Reclaimer   memory-reclamation policy (see lf/reclaim/reclaimer.h).
+//               Defaults to epoch-based reclamation, which is safe here
+//               even though searches may traverse backlinks into
+//               physically deleted nodes (argument in lf/reclaim/epoch.h).
+//
+// Instrumentation: every C&S, backlink traversal and search pointer update
+// is tallied in lf::stats — the exact step set the paper's amortized
+// analysis counts (Section 3.4) — so benchmarks can reproduce the paper's
+// cost claims in its own units.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "lf/instrument/counters.h"
+#include "lf/reclaim/epoch.h"
+#include "lf/reclaim/leaky.h"
+#include "lf/reclaim/reclaimer.h"
+#include "lf/sync/succ_field.h"
+
+namespace lf {
+
+template <typename Key, typename T = Key, typename Compare = std::less<Key>,
+          typename Reclaimer = reclaim::EpochReclaimer>
+class FRList {
+ public:
+  using key_type = Key;
+  using mapped_type = T;
+  using key_compare = Compare;
+
+  struct Node;
+
+ private:
+  using Succ = sync::SuccField<Node>;
+  using View = sync::SuccView<Node>;
+
+ public:
+  // Node layout. Public so that white-box tests and the skip list (which
+  // reuses these routines per level) can inspect structure; user code should
+  // treat nodes as opaque.
+  struct alignas(8) Node {
+    enum class Kind : unsigned char { kHead, kInterior, kTail };
+
+    Kind kind;
+    Key key;    // value-initialized for sentinels
+    T value;    // value-initialized for sentinels
+    Succ succ;
+    std::atomic<Node*> backlink{nullptr};
+
+    Node(Kind k, Key key_arg, T value_arg)
+        : kind(k), key(std::move(key_arg)), value(std::move(value_arg)) {}
+  };
+
+  FRList() : FRList(Compare{}, Reclaimer{}) {}
+  explicit FRList(Reclaimer reclaimer) : FRList(Compare{}, std::move(reclaimer)) {}
+  FRList(Compare comp, Reclaimer reclaimer)
+      : comp_(std::move(comp)), reclaimer_(std::move(reclaimer)) {
+    head_ = new Node(Node::Kind::kHead, Key{}, T{});
+    tail_ = new Node(Node::Kind::kTail, Key{}, T{});
+    head_->succ.store_unsynchronized(View{tail_, false, false});
+    tail_->succ.store_unsynchronized(View{nullptr, false, false});
+  }
+
+  // Destruction requires quiescence (no concurrent operations), like every
+  // concurrent container's destructor. Frees all nodes still linked;
+  // physically deleted nodes were already handed to the reclaimer.
+  ~FRList() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->succ.load().right;
+      delete n;
+      n = next;
+    }
+  }
+
+  FRList(const FRList&) = delete;
+  FRList& operator=(const FRList&) = delete;
+
+  // ---- Dictionary operations (paper Figures 3-5) ----------------------
+
+  // INSERT(k, e): true on success, false if the key is already present.
+  bool insert(const Key& k, T value) {
+    [[maybe_unused]] auto guard = reclaimer_.guard();
+    auto [prev, next] = search_from<true>(k, head_);
+    if (node_eq(prev, k)) {
+      stats::tls().op_insert.inc();
+      return false;  // DUPLICATE_KEY
+    }
+    Node* node = new Node(Node::Kind::kInterior, k, std::move(value));
+    const bool inserted = insert_loop(node, prev, next);
+    stats::tls().op_insert.inc();
+    return inserted;
+  }
+
+  // DELETE(k): true if this operation deleted the key, false otherwise
+  // (absent, or a concurrent deletion of the same node wins).
+  bool erase(const Key& k) {
+    [[maybe_unused]] auto guard = reclaimer_.guard();
+    // SearchFrom(k - eps): prev.key < k <= del.key, per Delete line 1.
+    auto [prev, del] = search_from<false>(k, head_);
+    bool erased = false;
+    if (node_eq(del, k)) {
+      auto [flag_prev, result] = try_flag(prev, del);
+      if (flag_prev != nullptr) help_flagged(flag_prev, del);
+      erased = result;
+    }
+    stats::tls().op_erase.inc();
+    return erased;
+  }
+
+  // SEARCH(k): copy of the mapped value, or nullopt.
+  std::optional<T> find(const Key& k) const {
+    [[maybe_unused]] auto guard = reclaimer_.guard();
+    auto [curr, next] = search_from<true>(k, head_);
+    (void)next;
+    std::optional<T> out;
+    if (node_eq(curr, k)) out.emplace(curr->value);
+    stats::tls().op_search.inc();
+    return out;
+  }
+
+  bool contains(const Key& k) const {
+    [[maybe_unused]] auto guard = reclaimer_.guard();
+    auto [curr, next] = search_from<true>(k, head_);
+    (void)next;
+    stats::tls().op_search.inc();
+    return node_eq(curr, k);
+  }
+
+  // ---- Snapshot / diagnostic helpers -----------------------------------
+
+  // Number of unmarked (regular) interior nodes. O(n); a linearizable size
+  // is impossible to maintain cheaply on a lock-free list, so under
+  // concurrency this is a point-in-traversal approximation.
+  std::size_t size() const {
+    [[maybe_unused]] auto guard = reclaimer_.guard();
+    std::size_t n = 0;
+    for (Node* p = head_->succ.load().right; p->kind != Node::Kind::kTail;
+         p = p->succ.load().right) {
+      if (!p->succ.load().mark) ++n;
+    }
+    return n;
+  }
+
+  bool empty() const { return size() == 0; }
+
+  // Visits (key, value) of every regular node in key order. Weakly
+  // consistent under concurrency (like every lock-free iteration).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    [[maybe_unused]] auto guard = reclaimer_.guard();
+    for (Node* p = head_->succ.load().right; p->kind != Node::Kind::kTail;
+         p = p->succ.load().right) {
+      if (!p->succ.load().mark) fn(p->key, p->value);
+    }
+  }
+
+  std::vector<Key> keys() const {
+    std::vector<Key> out;
+    for_each([&](const Key& k, const T&) { out.push_back(k); });
+    return out;
+  }
+
+  // ---- Invariant validation (tests; requires quiescence) ---------------
+
+  struct ValidationReport {
+    bool ok = true;
+    std::size_t node_count = 0;
+    std::string error;
+  };
+
+  // Checks the paper's INV 1-5 as they manifest at a quiescent point: the
+  // list from head to tail is strictly sorted, and no linked node is marked
+  // or flagged (all deletions, once begun, complete before their operation
+  // returns, so quiescence implies no logically deleted nodes remain).
+  ValidationReport validate() const {
+    ValidationReport rep;
+    const Node* prev = head_;
+    View pv = prev->succ.load();
+    if (pv.mark || pv.flag) return fail(rep, "head marked or flagged");
+    const Node* curr = pv.right;
+    while (curr->kind != Node::Kind::kTail) {
+      const View cv = curr->succ.load();
+      if (cv.mark) return fail(rep, "linked node is marked at quiescence");
+      if (cv.flag) return fail(rep, "linked node is flagged at quiescence");
+      if (cv.mark && cv.flag) return fail(rep, "INV5 violated");
+      if (prev->kind == Node::Kind::kInterior &&
+          !comp_(prev->key, curr->key)) {
+        return fail(rep, "INV1 violated: keys not strictly sorted");
+      }
+      ++rep.node_count;
+      prev = curr;
+      curr = cv.right;
+      if (curr == nullptr) return fail(rep, "list does not reach tail");
+    }
+    return rep;
+  }
+
+  // ---- Two-phase insertion hooks (benchmark adversary; Section 3.1) ----
+  //
+  // The paper's lower-bound execution for Harris's list requires the
+  // scheduler to stop inserters between "located the insertion position"
+  // and "performed the C&S". These hooks expose exactly that seam so the
+  // adversary driver can realize the schedule deterministically. Use with
+  // LeakyReclaimer (no guard needs to span the phases) or under external
+  // quiescence between phases.
+  struct InsertCursor {
+    Key key{};
+    Node* prev = nullptr;
+    Node* next = nullptr;
+    Node* node = nullptr;  // allocated, unlinked
+  };
+
+  // Phase 1: the initial SearchFrom + duplicate check + node allocation
+  // (Insert lines 1-4). Returns false (and allocates nothing) on duplicate.
+  bool insert_locate(const Key& k, T value, InsertCursor& cur) {
+    [[maybe_unused]] auto guard = reclaimer_.guard();
+    auto [prev, next] = search_from<true>(k, head_);
+    if (node_eq(prev, k)) return false;
+    cur.key = k;
+    cur.prev = prev;
+    cur.next = next;
+    cur.node = new Node(Node::Kind::kInterior, k, std::move(value));
+    return true;
+  }
+
+  // Phase 2: the Insert retry loop (lines 5-22), including recovery via
+  // backlinks when the located predecessor got marked in between.
+  bool insert_complete(InsertCursor& cur) {
+    [[maybe_unused]] auto guard = reclaimer_.guard();
+    const bool inserted = insert_loop(cur.node, cur.prev, cur.next);
+    stats::tls().op_insert.inc();
+    cur.node = nullptr;
+    return inserted;
+  }
+
+  // Phase 2 alternative: exactly ONE iteration of the Insert retry loop —
+  // one C&S attempt and, on failure, one recovery (help / backlink walk /
+  // SearchFrom). The adversary interposes a deletion between iterations,
+  // which is precisely the schedule of the paper's Section 3.1 lower bound.
+  enum class TryResult { kInserted, kRetry, kDuplicate };
+
+  TryResult insert_try_once(InsertCursor& cur) {
+    [[maybe_unused]] auto guard = reclaimer_.guard();
+    auto& c = stats::tls();
+    Node* prev = cur.prev;
+    Node* next = cur.next;
+    const View prev_succ = prev->succ.load();
+    if (prev_succ.flag) {
+      help_flagged(prev, prev_succ.right);
+    } else {
+      cur.node->succ.store_unsynchronized(View{next, false, false});
+      const View result = prev->succ.cas(View{next, false, false},
+                                         View{cur.node, false, false});
+      if (result == View{next, false, false}) {
+        c.insert_cas.inc();
+        c.op_insert.inc();
+        cur.node = nullptr;
+        return TryResult::kInserted;
+      }
+      if (result.flag && !result.mark) help_flagged(prev, result.right);
+      std::uint64_t chain = 0;
+      while (prev->succ.load().mark) {
+        c.backlink_traversal.inc();
+        ++chain;
+        prev = prev->backlink.load(std::memory_order_acquire);
+      }
+      if (chain > 0) stats::chain_hist_tls().record(chain);
+    }
+    std::tie(prev, next) = search_from<true>(cur.key, prev);
+    if (node_eq(prev, cur.key)) {
+      delete cur.node;
+      cur.node = nullptr;
+      c.op_insert.inc();
+      return TryResult::kDuplicate;
+    }
+    cur.prev = prev;
+    cur.next = next;
+    return TryResult::kRetry;
+  }
+
+  // ---- Stalled-deleter hooks (tests; Section 3.3 helping paths) --------
+  //
+  // A lock-free algorithm must tolerate a deleter that performs the FIRST
+  // deletion step (flagging the predecessor) and then stops forever — any
+  // other operation that runs into the flag must help the deletion to
+  // completion. These hooks create exactly that state so tests can verify
+  // each helping path deterministically. erase_begin performs Delete lines
+  // 1-4 (search + TryFlag) and returns WITHOUT calling HelpFlagged;
+  // erase_finish resumes the stalled operation (idempotent: helpers may
+  // have completed it already).
+  struct StalledErase {
+    Node* prev = nullptr;
+    Node* del = nullptr;
+    bool flagged = false;  // whether THIS operation placed the flag
+  };
+
+  bool erase_begin(const Key& k, StalledErase& out) {
+    [[maybe_unused]] auto guard = reclaimer_.guard();
+    auto [prev, del] = search_from<false>(k, head_);
+    if (!node_eq(del, k)) return false;
+    auto [flag_prev, result] = try_flag(prev, del);
+    out.prev = flag_prev;
+    out.del = del;
+    out.flagged = result;
+    return flag_prev != nullptr;
+  }
+
+  // Completes the stalled deletion; returns whether the stalled operation
+  // reports success (it placed the flag, so the deletion is "its").
+  bool erase_finish(StalledErase& st) {
+    [[maybe_unused]] auto guard = reclaimer_.guard();
+    if (st.prev != nullptr) help_flagged(st.prev, st.del);
+    stats::tls().op_erase.inc();
+    return st.flagged;
+  }
+
+  // Direct access for white-box tests and the adversary driver.
+  Node* head() const noexcept { return head_; }
+  Node* tail() const noexcept { return tail_; }
+  Reclaimer& reclaimer() noexcept { return reclaimer_; }
+
+ private:
+  // ---- Key/sentinel ordering helpers -----------------------------------
+  // Sentinels hold no real keys; kHead compares below and kTail above
+  // every key, realizing the paper's -inf/+inf dummy keys for arbitrary
+  // key types.
+
+  bool node_lt(const Node* n, const Key& k) const {  // n.key < k
+    if (n->kind == Node::Kind::kHead) return true;
+    if (n->kind == Node::Kind::kTail) return false;
+    return comp_(n->key, k);
+  }
+
+  bool node_le(const Node* n, const Key& k) const {  // n.key <= k
+    if (n->kind == Node::Kind::kHead) return true;
+    if (n->kind == Node::Kind::kTail) return false;
+    return !comp_(k, n->key);
+  }
+
+  bool node_eq(const Node* n, const Key& k) const {
+    return n->kind == Node::Kind::kInterior && !comp_(n->key, k) &&
+           !comp_(k, n->key);
+  }
+
+  // ---- SEARCHFROM (Figure 3) --------------------------------------------
+  //
+  // Finds consecutive nodes n1, n2 with n1.right == n2 at some time during
+  // the call and n1.key <= k < n2.key (Closed = true), or
+  // n1.key < k <= n2.key (Closed = false; the paper's SearchFrom(k - eps)).
+  // Physically deletes the logically deleted nodes it encounters by helping
+  // (line 5).
+  template <bool Closed>
+  std::pair<Node*, Node*> search_from(const Key& k, Node* curr) const {
+    auto& c = stats::tls();
+    auto advances = [&](const Node* n) {
+      return Closed ? node_le(n, k) : node_lt(n, k);
+    };
+    Node* next = curr->succ.load().right;
+    while (advances(next)) {
+      // Ensure that either next is unmarked, or both curr and next are
+      // marked and curr was marked earlier (paper lines 3-6).
+      for (;;) {
+        const View next_succ = next->succ.load();
+        if (!next_succ.mark) break;
+        const View curr_succ = curr->succ.load();
+        if (curr_succ.mark && curr_succ.right == next) break;
+        if (curr_succ.right == next) help_marked(curr, next);
+        next = curr->succ.load().right;
+        c.next_update.inc();  // paper line 6
+      }
+      if (advances(next)) {
+        curr = next;
+        c.curr_update.inc();  // paper line 8
+        next = curr->succ.load().right;
+      }
+    }
+    return {curr, next};
+  }
+
+  // ---- HELPMARKED (Figure 3) --------------------------------------------
+  //
+  // Physically deletes the marked node del (the successor of the flagged
+  // node prev) and removes prev's flag, in one C&S. The thread whose C&S
+  // performs the unlink owns retirement of del.
+  void help_marked(Node* prev, Node* del) const {
+    stats::tls().help_marked.inc();
+    Node* next = del->succ.load().right;
+    const View result =
+        prev->succ.cas(View{del, false, true}, View{next, false, false});
+    if (result == View{del, false, true}) {
+      stats::tls().pdelete_cas.inc();
+      reclaimer_.retire(del);
+    }
+  }
+
+  // ---- HELPFLAGGED (Figure 4) -------------------------------------------
+  //
+  // prev is flagged and del is its successor: set del's backlink, mark del,
+  // then physically delete it. Callable by any thread (helping); all
+  // callers compute the same backlink value, so the store is idempotent.
+  void help_flagged(Node* prev, Node* del) const {
+    stats::tls().help_flagged.inc();
+    del->backlink.store(prev, std::memory_order_release);
+    if (!del->succ.load().mark) try_mark(del);
+    help_marked(prev, del);
+  }
+
+  // ---- TRYMARK (Figure 4) -----------------------------------------------
+  void try_mark(Node* del) const {
+    do {
+      Node* next = del->succ.load().right;
+      const View result =
+          del->succ.cas(View{next, false, false}, View{next, true, false});
+      if (result == View{next, false, false}) {
+        stats::tls().mark_cas.inc();
+      } else if (result.flag && !result.mark) {
+        // Failure because del itself got flagged: a deletion of del's
+        // successor is underway; help it finish, then retry.
+        help_flagged(del, result.right);
+      }
+      // Failure because del.right changed: loop re-reads and retries.
+    } while (!del->succ.load().mark);
+  }
+
+  // ---- TRYFLAG (Figure 5) -------------------------------------------------
+  //
+  // Attempts to flag the predecessor of target. Returns (prev, true) when
+  // this call placed the flag; (prev, false) when another operation's flag
+  // is already in place (that operation will report success for the key);
+  // (nullptr, false) when target was deleted from the list.
+  std::pair<Node*, bool> try_flag(Node* prev, Node* target) const {
+    auto& c = stats::tls();
+    for (;;) {
+      if (prev->succ.load() == View{target, false, true}) {
+        return {prev, false};  // predecessor already flagged by someone else
+      }
+      const View result = prev->succ.cas(View{target, false, false},
+                                         View{target, false, true});
+      if (result == View{target, false, false}) {
+        c.flag_cas.inc();
+        return {prev, true};
+      }
+      if (result == View{target, false, true}) {
+        return {prev, false};  // lost the race to a concurrent flagger
+      }
+      // Possibly a failure due to marking: recover through the backlink
+      // chain to the nearest unmarked node (paper lines 9-10).
+      std::uint64_t chain = 0;
+      while (prev->succ.load().mark) {
+        c.backlink_traversal.inc();
+        ++chain;
+        prev = prev->backlink.load(std::memory_order_acquire);
+      }
+      if (chain > 0) stats::chain_hist_tls().record(chain);
+      // Relocate target's predecessor (paper line 11; k - eps semantics).
+      auto [new_prev, del] = search_from<false>(target->key, prev);
+      if (del != target) return {nullptr, false};  // target got deleted
+      prev = new_prev;
+    }
+  }
+
+  // ---- INSERT retry loop (Figure 5, lines 5-22) ---------------------------
+  //
+  // Attempts to link `node` between prev and next, recovering from flagging
+  // (help the deletion), marking (walk backlinks) and repositioning
+  // (SearchFrom) until the C&S lands or the key turns out to be a duplicate.
+  bool insert_loop(Node* node, Node* prev, Node* next) {
+    auto& c = stats::tls();
+    const Key& k = node->key;
+    for (;;) {
+      const View prev_succ = prev->succ.load();
+      if (prev_succ.flag) {
+        help_flagged(prev, prev_succ.right);
+      } else {
+        node->succ.store_unsynchronized(View{next, false, false});
+        const View result =
+            prev->succ.cas(View{next, false, false}, View{node, false, false});
+        if (result == View{next, false, false}) {
+          c.insert_cas.inc();
+          return true;  // successful insertion (linearization point)
+        }
+        if (result.flag && !result.mark) {
+          help_flagged(prev, result.right);
+        }
+        std::uint64_t chain = 0;
+        while (prev->succ.load().mark) {
+          c.backlink_traversal.inc();
+          ++chain;
+          prev = prev->backlink.load(std::memory_order_acquire);
+        }
+        if (chain > 0) stats::chain_hist_tls().record(chain);
+      }
+      std::tie(prev, next) = search_from<true>(k, prev);
+      if (node_eq(prev, k)) {
+        delete node;  // never published; plain delete is safe
+        return false;  // DUPLICATE_KEY
+      }
+    }
+  }
+
+  static ValidationReport fail(ValidationReport& rep, const char* msg) {
+    rep.ok = false;
+    rep.error = msg;
+    return rep;
+  }
+
+  Compare comp_;
+  mutable Reclaimer reclaimer_;
+  Node* head_;
+  Node* tail_;
+
+  static_assert(reclaim::reclaimer_for<Reclaimer, Node>);
+};
+
+}  // namespace lf

@@ -1,0 +1,652 @@
+// FRSkipList — the lock-free skip list of Fomitchev & Ruppert, PODC 2004,
+// Section 4: each level is an instance of the paper's linked-list algorithms
+// (flag bit + mark bit + backlink per node), so every level enjoys the same
+// recover-instead-of-restart behaviour as FRList.
+//
+// Architecture (paper Figure 6): each key is represented by a TOWER of
+// nodes; the bottom node is the ROOT and represents the whole tower. Tower
+// height is chosen by fair coin flips (geometric, capped). Nodes of one
+// level form a sorted singly-linked list between the head tower and the
+// tail. Every node has:
+//
+//     key, succ = (right, mark, flag), backlink   — as in FRList
+//     down        one level lower in the same tower (null for roots)
+//     tower_root  the tower's root node (== itself for roots)
+//     value       meaningful in root nodes only
+//
+// Insertion builds the tower bottom-up and is linearized when the root node
+// is inserted. Deletion deletes the root first — a tower whose root is
+// marked is SUPERFLUOUS — and then removes the remaining nodes top-down.
+// Searches help deletions by physically deleting every superfluous node
+// they encounter; Section 4 explains that without this, an adversary can
+// force operations to repeatedly traverse a chain of backlinks of length
+// Ω(m_E) on the lowest level.
+//
+// Tower construction can be INTERRUPTED: while a process builds tower Q,
+// another process may mark Q's root. The builder checks the root after
+// every level it links; if the root got marked it stops, unlinking the node
+// it just added (if any), and still reports success (its root made it in).
+//
+// Departures from the paper's presentation, all noted in DESIGN.md:
+//   * The head tower is preallocated at full height (MaxLevel), so the
+//     paper's `up` pointers for growing the head are unnecessary. A
+//     top-level hint makes searches start just above the tallest live
+//     tower, which is what the adaptive head bought.
+//   * One shared tail sentinel serves every level (its succ is never
+//     modified, so per-level tail nodes would be indistinguishable).
+//   * The detailed pseudocode for the skip-list routines lives in
+//     Fomitchev's thesis; these routines are reconstructed from the paper's
+//     prose (every step of Section 4) plus the linked-list routines of
+//     Figures 3-5 they are explicitly built from.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "lf/instrument/counters.h"
+#include "lf/reclaim/epoch.h"
+#include "lf/reclaim/reclaimer.h"
+#include "lf/sync/succ_field.h"
+#include "lf/util/random.h"
+
+namespace lf {
+
+template <typename Key, typename T = Key, typename Compare = std::less<Key>,
+          typename Reclaimer = reclaim::EpochReclaimer, int MaxLevel = 24>
+class FRSkipList {
+  static_assert(MaxLevel >= 2, "need at least two levels (erase cleanup)");
+
+ public:
+  using key_type = Key;
+  using mapped_type = T;
+  using key_compare = Compare;
+
+  struct Node;
+
+ private:
+  using Succ = sync::SuccField<Node>;
+  using View = sync::SuccView<Node>;
+
+ public:
+  // Towers occupy levels 1..kMaxTowerHeight; the head reaches one level
+  // higher so the top level is always an empty express lane.
+  static constexpr int kMaxTowerHeight = MaxLevel - 1;
+
+  struct alignas(8) Node {
+    enum class Kind : unsigned char { kHead, kInterior, kTail };
+
+    Kind kind;
+    int level;           // 1-based; immutable
+    int planned_height;  // roots: the coin-flip height (census/E6); else 0
+    Key key;
+    T value;  // meaningful in root nodes only
+    Succ succ;
+    std::atomic<Node*> backlink{nullptr};
+    Node* down;        // immutable after construction
+    Node* tower_root;  // immutable; == this for root nodes
+
+    // Tower-retirement bookkeeping, meaningful on ROOT nodes only.
+    //
+    // Per-node retirement at unlink time would be unsound here: a node
+    // unlinked at level v stays reachable through the `down` pointer of its
+    // still-linked level v+1 sibling, so a reader pinned AFTER the unlink
+    // could still dereference it. Instead the whole tower is retired in one
+    // step when its last linked node is unlinked: any reader that can reach
+    // any tower node (by list traversal, backlink, or down-descent) was
+    // necessarily pinned before that single retire point, so one grace
+    // period covers every node of the tower.
+    //
+    // tower_alive counts nodes that are linked or about to be linked (the
+    // inserter increments before attempting to link, and pre-publishes
+    // tower_top, so the count can only reach zero when no link attempt is
+    // in flight and every linked node has been unlinked). The unlinker or
+    // abandoner that drops it to zero walks tower_top -> down -> ... -> root
+    // and retires each node.
+    std::atomic<int> tower_alive{1};
+    std::atomic<Node*> tower_top{nullptr};
+
+    Node(Kind k, int lvl, Key key_arg, T value_arg, Node* down_arg,
+         Node* root_arg)
+        : kind(k),
+          level(lvl),
+          planned_height(0),
+          key(std::move(key_arg)),
+          value(std::move(value_arg)),
+          down(down_arg),
+          tower_root(root_arg == nullptr ? this : root_arg) {
+      if (root_arg == nullptr) tower_top.store(this,
+                                               std::memory_order_relaxed);
+    }
+  };
+
+  FRSkipList() : FRSkipList(Compare{}, Reclaimer{}) {}
+  explicit FRSkipList(Reclaimer reclaimer)
+      : FRSkipList(Compare{}, std::move(reclaimer)) {}
+  FRSkipList(Compare comp, Reclaimer reclaimer)
+      : comp_(std::move(comp)), reclaimer_(std::move(reclaimer)) {
+    tail_ = new Node(Node::Kind::kTail, 0, Key{}, T{}, nullptr, nullptr);
+    Node* below = nullptr;
+    for (int v = 1; v <= MaxLevel; ++v) {
+      head_[v] = new Node(Node::Kind::kHead, v, Key{}, T{}, below, nullptr);
+      head_[v]->succ.store_unsynchronized(View{tail_, false, false});
+      below = head_[v];
+    }
+    top_hint_.store(1, std::memory_order_relaxed);
+  }
+
+  ~FRSkipList() {
+    for (int v = 1; v <= MaxLevel; ++v) {
+      Node* n = head_[v]->succ.load().right;
+      while (n->kind != Node::Kind::kTail) {
+        Node* next = n->succ.load().right;
+        delete n;
+        n = next;
+      }
+      delete head_[v];
+    }
+    delete tail_;
+  }
+
+  FRSkipList(const FRSkipList&) = delete;
+  FRSkipList& operator=(const FRSkipList&) = delete;
+
+  // ---- Dictionary operations (Insert_SL / Delete_SL / Search_SL) -------
+
+  bool insert(const Key& k, T value) {
+    [[maybe_unused]] auto guard = reclaimer_.guard();
+    auto [prev, next] = search_to_level<true>(k, 1);
+    if (node_eq(prev, k)) {
+      stats::tls().op_insert.inc();
+      return false;  // DUPLICATE_KEY
+    }
+    const int tower_height = tls_rng().tower_height(kMaxTowerHeight);
+    Node* root = new Node(Node::Kind::kInterior, 1, k, std::move(value),
+                          nullptr, nullptr);
+    root->planned_height = tower_height;
+    Node* node = root;
+    int curr_v = 1;
+    for (;;) {
+      auto [new_prev, result] = insert_node(node, prev, next);
+      prev = new_prev;
+      if (result == InsertResult::kDuplicate) {
+        if (curr_v == 1) {
+          delete root;  // never published; nobody else can hold it
+          stats::tls().op_insert.inc();
+          return false;
+        }
+        // A same-key tower exists at an upper level: only possible after
+        // our root was deleted and the key reinserted. Abandon the node
+        // (never linked): roll tower_top back to the highest linked node
+        // and release the reference taken before the attempt.
+        root->tower_top.store(node->down, std::memory_order_release);
+        delete node;
+        release_tower_ref(root);
+        break;
+      }
+      if (root->succ.load().mark) {
+        // Construction interrupted by a deletion of our root (Section 4).
+        // Remove the node we just linked above the (now superfluous) tower,
+        // then finish: the root WAS inserted, so we report success.
+        if (node != root) delete_node(prev, node);
+        break;
+      }
+      raise_top_hint(curr_v);
+      if (curr_v == tower_height) break;  // tower complete
+      ++curr_v;
+      Node* below = node;
+      // Announce the upcoming link BEFORE attempting it (see Node docs):
+      // while tower_alive includes this node, nobody can retire the tower,
+      // so pre-publishing tower_top is race-free. If the tower already died
+      // (count reached zero), it must NOT be resurrected: stop building.
+      if (!acquire_tower_ref(root)) break;
+      node = new Node(Node::Kind::kInterior, curr_v, k, T{}, below, root);
+      root->tower_top.store(node, std::memory_order_release);
+      std::tie(prev, next) = search_to_level<true>(k, curr_v);
+    }
+    stats::tls().op_insert.inc();
+    return true;
+  }
+
+  bool erase(const Key& k) {
+    [[maybe_unused]] auto guard = reclaimer_.guard();
+    // prev.key < k <= del.key on level 1.
+    auto [prev, del] = search_to_level<false>(k, 1);
+    bool erased = false;
+    if (node_eq(del, k)) {
+      erased = delete_node(prev, del);
+      if (erased) {
+        // Delete_SL: re-search down to level 2 to physically delete the
+        // rest of the now-superfluous tower, top-down.
+        search_to_level<true>(k, 2);
+      }
+    }
+    stats::tls().op_erase.inc();
+    return erased;
+  }
+
+  std::optional<T> find(const Key& k) const {
+    [[maybe_unused]] auto guard = reclaimer_.guard();
+    auto [curr, next] = search_to_level<true>(k, 1);
+    (void)next;
+    std::optional<T> out;
+    if (node_eq(curr, k)) out.emplace(curr->value);
+    stats::tls().op_search.inc();
+    return out;
+  }
+
+  bool contains(const Key& k) const {
+    [[maybe_unused]] auto guard = reclaimer_.guard();
+    auto [curr, next] = search_to_level<true>(k, 1);
+    (void)next;
+    stats::tls().op_search.inc();
+    return node_eq(curr, k);
+  }
+
+  // ---- Snapshot / diagnostics ------------------------------------------
+
+  // Count of regular root nodes. O(n); approximate under concurrency.
+  std::size_t size() const {
+    [[maybe_unused]] auto guard = reclaimer_.guard();
+    std::size_t n = 0;
+    for (Node* p = head_[1]->succ.load().right; p->kind != Node::Kind::kTail;
+         p = p->succ.load().right) {
+      if (!p->succ.load().mark) ++n;
+    }
+    return n;
+  }
+
+  bool empty() const { return size() == 0; }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    [[maybe_unused]] auto guard = reclaimer_.guard();
+    for (Node* p = head_[1]->succ.load().right; p->kind != Node::Kind::kTail;
+         p = p->succ.load().right) {
+      if (!p->succ.load().mark) fn(p->key, p->value);
+    }
+  }
+
+  std::vector<Key> keys() const {
+    std::vector<Key> out;
+    for_each([&](const Key& k, const T&) { out.push_back(k); });
+    return out;
+  }
+
+  // Visits every regular entry with lo <= key < hi, in key order. The
+  // skip list finds the range start in O(log n) expected and then walks
+  // level 1 — the range-scan pattern LSM memtables and index scans use.
+  // Weakly consistent under concurrency like all iteration here.
+  template <typename Fn>
+  void for_each_range(const Key& lo, const Key& hi, Fn&& fn) const {
+    [[maybe_unused]] auto guard = reclaimer_.guard();
+    auto [prev, curr] = search_to_level<false>(lo, 1);  // prev.key < lo
+    (void)prev;
+    for (Node* p = curr; p->kind != Node::Kind::kTail;
+         p = p->succ.load().right) {
+      if (!node_lt(p, hi)) break;  // p.key >= hi
+      if (!p->succ.load().mark) fn(p->key, p->value);
+    }
+  }
+
+  // Number of regular keys in [lo, hi). O(log n + range length) expected.
+  std::size_t count_range(const Key& lo, const Key& hi) const {
+    std::size_t n = 0;
+    for_each_range(lo, hi, [&](const Key&, const T&) { ++n; });
+    return n;
+  }
+
+  // The smallest regular key and its value, or nullopt when empty. O(1+d)
+  // where d is the number of logically deleted nodes at the front — the
+  // accessor priority queues need (see lf/extras/priority_queue.h).
+  std::optional<std::pair<Key, T>> first() const {
+    [[maybe_unused]] auto guard = reclaimer_.guard();
+    for (Node* p = head_[1]->succ.load().right; p->kind != Node::Kind::kTail;
+         p = p->succ.load().right) {
+      if (!p->succ.load().mark) return std::make_pair(p->key, p->value);
+    }
+    return std::nullopt;
+  }
+
+  int top_level_hint() const noexcept {
+    return top_hint_.load(std::memory_order_relaxed);
+  }
+
+  // ---- Invariant validation & census (tests / E6; quiescent only) ------
+
+  struct ValidationReport {
+    bool ok = true;
+    std::size_t node_count = 0;  // across all levels
+    std::string error;
+  };
+
+  ValidationReport validate() const {
+    ValidationReport rep;
+    std::size_t roots = 0;
+    for (int v = 1; v <= MaxLevel; ++v) {
+      const Node* prev = head_[v];
+      const Node* curr = prev->succ.load().right;
+      if (prev->succ.load().mark || prev->succ.load().flag)
+        return fail(rep, "head marked or flagged");
+      while (curr->kind != Node::Kind::kTail) {
+        const View cv = curr->succ.load();
+        if (cv.mark) return fail(rep, "linked node marked at quiescence");
+        if (cv.flag) return fail(rep, "linked node flagged at quiescence");
+        if (prev->kind == Node::Kind::kInterior &&
+            !comp_(prev->key, curr->key))
+          return fail(rep, "INV1 violated: keys not strictly sorted");
+        if (curr->level != v) return fail(rep, "node on wrong level");
+        if (v == 1) {
+          ++roots;
+          if (curr->tower_root != curr || curr->down != nullptr)
+            return fail(rep, "root node vertical structure broken");
+        } else {
+          if (curr->down == nullptr || curr->down->level != v - 1)
+            return fail(rep, "down pointer broken");
+          if (!keys_equal(curr->down->key, curr->key))
+            return fail(rep, "tower keys differ across levels");
+          if (curr->tower_root->succ.load().mark)
+            return fail(rep, "superfluous node linked at quiescence");
+        }
+        ++rep.node_count;
+        prev = curr;
+        curr = cv.right;
+        if (curr == nullptr) return fail(rep, "level does not reach tail");
+      }
+    }
+    // Every upper node's tower_root must itself be linked at level 1; since
+    // all linked roots are unmarked here, tower_root unmarked was checked.
+    (void)roots;
+    return rep;
+  }
+
+  // Tower census for experiment E6: for every linked tower, its observed
+  // height and its planned (coin-flip) height. Quiescent only.
+  struct TowerCensus {
+    std::map<int, std::size_t> height_counts;   // observed height -> towers
+    std::size_t full = 0;        // observed == planned
+    std::size_t incomplete = 0;  // observed < planned (interrupted builds)
+    std::size_t towers = 0;
+  };
+
+  TowerCensus census() const {
+    TowerCensus out;
+    std::unordered_map<const Node*, int> height;
+    for (int v = 1; v <= MaxLevel; ++v) {
+      for (const Node* p = head_[v]->succ.load().right;
+           p->kind != Node::Kind::kTail; p = p->succ.load().right) {
+        auto [it, fresh] = height.emplace(p->tower_root, v);
+        if (!fresh && v > it->second) it->second = v;
+      }
+    }
+    for (const auto& [root, h] : height) {
+      ++out.height_counts[h];
+      ++out.towers;
+      if (h >= root->planned_height) {
+        ++out.full;
+      } else {
+        ++out.incomplete;
+      }
+    }
+    return out;
+  }
+
+  Node* head(int level) const { return head_[level]; }
+  Node* tail() const noexcept { return tail_; }
+
+ private:
+  enum class InsertResult { kInserted, kDuplicate };
+
+  // ---- ordering helpers (sentinels = -inf / +inf) -----------------------
+  bool node_lt(const Node* n, const Key& k) const {
+    if (n->kind == Node::Kind::kHead) return true;
+    if (n->kind == Node::Kind::kTail) return false;
+    return comp_(n->key, k);
+  }
+  bool node_le(const Node* n, const Key& k) const {
+    if (n->kind == Node::Kind::kHead) return true;
+    if (n->kind == Node::Kind::kTail) return false;
+    return !comp_(k, n->key);
+  }
+  bool node_eq(const Node* n, const Key& k) const {
+    return n->kind == Node::Kind::kInterior && !comp_(n->key, k) &&
+           !comp_(k, n->key);
+  }
+  bool keys_equal(const Key& a, const Key& b) const {
+    return !comp_(a, b) && !comp_(b, a);
+  }
+
+  static Xoshiro256& tls_rng() {
+    thread_local Xoshiro256 rng(
+        0x9e3779b97f4a7c15ULL ^
+        std::hash<std::thread::id>{}(std::this_thread::get_id()));
+    return rng;
+  }
+
+  void raise_top_hint(int level) noexcept {
+    int top = top_hint_.load(std::memory_order_relaxed);
+    while (top < level && !top_hint_.compare_exchange_weak(
+                              top, level, std::memory_order_relaxed)) {
+    }
+  }
+
+  // ---- SearchToLevel_SL --------------------------------------------------
+  //
+  // Descends from just above the tallest live tower to level v, traversing
+  // each level with SearchRight; returns consecutive (n1, n2) on level v
+  // with n1.key <= k < n2.key (Closed) or n1.key < k <= n2.key (!Closed).
+  template <bool Closed>
+  std::pair<Node*, Node*> search_to_level(const Key& k, int v) const {
+    int curr_v = top_hint_.load(std::memory_order_relaxed) + 1;
+    if (curr_v > MaxLevel) curr_v = MaxLevel;
+    if (curr_v < v) curr_v = v;
+    Node* curr = head_[curr_v];
+    Node* next = nullptr;
+    while (curr_v > v) {
+      std::tie(curr, next) = search_right<false>(k, curr);
+      curr = curr->down;
+      --curr_v;
+    }
+    return search_right<Closed>(k, curr);
+  }
+
+  // ---- SearchRight --------------------------------------------------------
+  //
+  // SearchFrom (Figure 3) on one level, with the Section 4 addition:
+  // "SearchRight deletes the superfluous nodes along its way, performing
+  // all three deletion steps if necessary, whereas SearchFrom physically
+  // deletes only those nodes that are already logically deleted."
+  template <bool Closed>
+  std::pair<Node*, Node*> search_right(const Key& k, Node* curr) const {
+    auto& c = stats::tls();
+    auto advances = [&](const Node* n) {
+      return Closed ? node_le(n, k) : node_lt(n, k);
+    };
+    Node* next = curr->succ.load().right;
+    for (;;) {
+      // Delete every superfluous tower node on the search path (root
+      // marked). The trigger is key <= k in BOTH search modes: a strict
+      // (k - eps) search never steps INTO a node with key == k, but the
+      // erase cleanup descends with exactly that key and must still remove
+      // the tower's upper nodes, and removal never moves curr rightward,
+      // so the postcondition of either mode is preserved.
+      while (next->kind == Node::Kind::kInterior && node_le(next, k) &&
+             next->tower_root->succ.load().mark) {
+        auto [new_curr, status, flagged] = try_flag_node(curr, next);
+        curr = new_curr;
+        if (status == FlagStatus::kIn) {
+          (void)flagged;
+          help_flagged(curr, next);
+        }
+        next = curr->succ.load().right;
+        c.next_update.inc();
+      }
+      if (!advances(next)) break;
+      curr = next;
+      c.curr_update.inc();
+      next = curr->succ.load().right;
+    }
+    return {curr, next};
+  }
+
+  // ---- level-local deletion machinery (Figures 3-5, per level) ----------
+
+  void help_marked(Node* prev, Node* del) const {
+    stats::tls().help_marked.inc();
+    Node* next = del->succ.load().right;
+    const View result =
+        prev->succ.cas(View{del, false, true}, View{next, false, false});
+    if (result == View{del, false, true}) {
+      stats::tls().pdelete_cas.inc();
+      release_tower_ref(del->tower_root);
+    }
+  }
+
+  // Take a reference on a tower for an upcoming link attempt; fails (and
+  // must abort the attempt) if the tower is already fully unlinked, since a
+  // zero count means retirement has begun and may not be undone.
+  bool acquire_tower_ref(Node* root) const {
+    int alive = root->tower_alive.load(std::memory_order_acquire);
+    while (alive > 0) {
+      if (root->tower_alive.compare_exchange_weak(alive, alive + 1,
+                                                  std::memory_order_acq_rel))
+        return true;
+    }
+    return false;
+  }
+
+  // Drop one reference on a tower; the thread that releases the last one
+  // retires every node of the tower in a single step (see Node docs).
+  void release_tower_ref(Node* root) const {
+    if (root->tower_alive.fetch_sub(1, std::memory_order_acq_rel) != 1)
+      return;
+    Node* n = root->tower_top.load(std::memory_order_acquire);
+    while (n != nullptr) {
+      Node* below = n->down;
+      reclaimer_.retire(n);
+      n = below;
+    }
+  }
+
+  void help_flagged(Node* prev, Node* del) const {
+    stats::tls().help_flagged.inc();
+    del->backlink.store(prev, std::memory_order_release);
+    if (!del->succ.load().mark) try_mark(del);
+    help_marked(prev, del);
+  }
+
+  void try_mark(Node* del) const {
+    do {
+      Node* next = del->succ.load().right;
+      const View result =
+          del->succ.cas(View{next, false, false}, View{next, true, false});
+      if (result == View{next, false, false}) {
+        stats::tls().mark_cas.inc();
+      } else if (result.flag && !result.mark) {
+        help_flagged(del, result.right);
+      }
+    } while (!del->succ.load().mark);
+  }
+
+  enum class FlagStatus { kIn, kDeleted };
+
+  // TryFlagNode: flag target's predecessor on target's level. Returns the
+  // updated predecessor, whether target is still in the list, and whether
+  // THIS call placed the flag.
+  std::tuple<Node*, FlagStatus, bool> try_flag_node(Node* prev,
+                                                    Node* target) const {
+    auto& c = stats::tls();
+    for (;;) {
+      if (prev->succ.load() == View{target, false, true}) {
+        return {prev, FlagStatus::kIn, false};
+      }
+      const View result = prev->succ.cas(View{target, false, false},
+                                         View{target, false, true});
+      if (result == View{target, false, false}) {
+        c.flag_cas.inc();
+        return {prev, FlagStatus::kIn, true};
+      }
+      if (result == View{target, false, true}) {
+        return {prev, FlagStatus::kIn, false};
+      }
+      std::uint64_t chain = 0;
+      while (prev->succ.load().mark) {
+        c.backlink_traversal.inc();
+        ++chain;
+        prev = prev->backlink.load(std::memory_order_acquire);
+      }
+      if (chain > 0) stats::chain_hist_tls().record(chain);
+      auto [new_prev, del] = search_right<false>(target->key, prev);
+      if (del != target) return {new_prev, FlagStatus::kDeleted, false};
+      prev = new_prev;
+    }
+  }
+
+  // DeleteNode: the three-step deletion of one node on its level. Returns
+  // true iff this operation's flag initiated the deletion (the caller may
+  // then report success for the dictionary-level Delete).
+  bool delete_node(Node* prev, Node* del) const {
+    auto [flag_prev, status, flagged] = try_flag_node(prev, del);
+    if (status == FlagStatus::kIn) help_flagged(flag_prev, del);
+    return flagged;
+  }
+
+  // InsertNode: the Insert retry loop (Figure 5 lines 5-22) on one level.
+  std::pair<Node*, InsertResult> insert_node(Node* node, Node* prev,
+                                             Node* next) const {
+    auto& c = stats::tls();
+    const Key& k = node->key;
+    if (node_eq(prev, k)) return {prev, InsertResult::kDuplicate};
+    for (;;) {
+      const View prev_succ = prev->succ.load();
+      if (prev_succ.flag) {
+        help_flagged(prev, prev_succ.right);
+      } else {
+        node->succ.store_unsynchronized(View{next, false, false});
+        const View result =
+            prev->succ.cas(View{next, false, false}, View{node, false, false});
+        if (result == View{next, false, false}) {
+          c.insert_cas.inc();
+          return {prev, InsertResult::kInserted};
+        }
+        if (result.flag && !result.mark) {
+          help_flagged(prev, result.right);
+        }
+        std::uint64_t chain = 0;
+        while (prev->succ.load().mark) {
+          c.backlink_traversal.inc();
+          ++chain;
+          prev = prev->backlink.load(std::memory_order_acquire);
+        }
+        if (chain > 0) stats::chain_hist_tls().record(chain);
+      }
+      std::tie(prev, next) = search_right<true>(k, prev);
+      if (node_eq(prev, k)) return {prev, InsertResult::kDuplicate};
+    }
+  }
+
+  static ValidationReport fail(ValidationReport& rep, const char* msg) {
+    rep.ok = false;
+    rep.error = msg;
+    return rep;
+  }
+
+  Compare comp_;
+  mutable Reclaimer reclaimer_;
+  std::array<Node*, MaxLevel + 1> head_{};  // head_[1..MaxLevel]; [0] unused
+  Node* tail_;
+  std::atomic<int> top_hint_;
+
+  static_assert(reclaim::reclaimer_for<Reclaimer, Node>);
+};
+
+}  // namespace lf

@@ -1,0 +1,27 @@
+// The common shape of every dictionary implementation in this repository.
+//
+// Tests and benchmarks are written once against this duck-typed concept and
+// instantiated for the paper's structures and all baselines, so every
+// implementation faces the identical battery.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <optional>
+
+namespace lf {
+
+template <typename S>
+concept concurrent_map_like =
+    requires(S s, const S cs, const typename S::key_type& k,
+             typename S::mapped_type v) {
+      typename S::key_type;
+      typename S::mapped_type;
+      { s.insert(k, v) } -> std::convertible_to<bool>;
+      { s.erase(k) } -> std::convertible_to<bool>;
+      { cs.contains(k) } -> std::convertible_to<bool>;
+      { cs.find(k) } -> std::same_as<std::optional<typename S::mapped_type>>;
+      { cs.size() } -> std::convertible_to<std::size_t>;
+    };
+
+}  // namespace lf

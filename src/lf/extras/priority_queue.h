@@ -1,0 +1,77 @@
+// FRPriorityQueue — a lock-free priority queue on top of FRSkipList.
+//
+// The application the paper's related work leads with: Sundell & Tsigas's
+// lock-free skip list (the paper's reference [14]) was built to implement
+// exactly Insert + DeleteMin for multi-thread priority queues, and Lotan &
+// Shavit's lock-based design [13] targets the same. This adapter provides
+// that interface over the paper's skip list:
+//
+//   push(priority, value)   -> false if the priority key is already queued
+//   pop_min()               -> extract the smallest-priority entry
+//   peek_min()              -> observe it without removing
+//
+// pop_min() is the interesting operation: competing consumers race to
+// erase() the front key, and the paper's Delete semantics guarantee each
+// key is won by exactly one of them, so every queued entry is popped
+// exactly once. Lock-freedom is inherited: a stalled consumer cannot block
+// producers or other consumers (its half-done deletion is helped along).
+//
+// Priorities must be unique (the underlying dictionary rejects duplicate
+// keys). For FIFO-within-priority semantics, pack (priority, sequence)
+// into the key as examples/url_frontier.cpp demonstrates.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "lf/core/fr_skiplist.h"
+
+namespace lf::extras {
+
+template <typename Priority, typename T,
+          typename Compare = std::less<Priority>,
+          typename Reclaimer = reclaim::EpochReclaimer>
+class FRPriorityQueue {
+ public:
+  using priority_type = Priority;
+  using value_type = T;
+
+  FRPriorityQueue() = default;
+  explicit FRPriorityQueue(Reclaimer reclaimer)
+      : skip_(std::move(reclaimer)) {}
+
+  // Enqueue; false if an entry with this priority key is already queued.
+  bool push(const Priority& priority, T value) {
+    return skip_.insert(priority, std::move(value));
+  }
+
+  // Dequeue the minimum-priority entry; nullopt when the queue is empty.
+  // Linearizes at the successful marking of the popped root node.
+  std::optional<std::pair<Priority, T>> pop_min() {
+    for (;;) {
+      auto front = skip_.first();
+      if (!front.has_value()) return std::nullopt;
+      if (skip_.erase(front->first)) return front;
+      // Lost the race for this key to another consumer (or the key was
+      // concurrently erased); retry with the new front.
+    }
+  }
+
+  // Observe the minimum without removing it. Weakly consistent: by the
+  // time the caller looks, a concurrent pop may have taken it.
+  std::optional<std::pair<Priority, T>> peek_min() const {
+    return skip_.first();
+  }
+
+  bool empty() const { return !skip_.first().has_value(); }
+  std::size_t size() const { return skip_.size(); }
+
+  // The underlying dictionary, for inspection/tests.
+  using Skip = FRSkipList<Priority, T, Compare, Reclaimer>;
+  const Skip& dictionary() const { return skip_; }
+
+ private:
+  Skip skip_;
+};
+
+}  // namespace lf::extras

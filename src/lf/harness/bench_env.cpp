@@ -1,0 +1,29 @@
+#include "lf/harness/bench_env.h"
+
+#include <iostream>
+#include <thread>
+
+namespace lf::harness {
+
+void print_environment(const char* experiment_id, const char* claim) {
+  std::cout << "##########################################################\n"
+            << "# Experiment " << experiment_id << "\n"
+            << "# Claim: " << claim << "\n"
+            << "# hardware_concurrency: "
+            << std::thread::hardware_concurrency() << "\n"
+#ifdef NDEBUG
+            << "# build: Release (NDEBUG)\n"
+#else
+            << "# build: Debug (asserts on; numbers not comparable)\n"
+#endif
+            << "# Cost metric: the paper's essential steps (Section 3.4) =\n"
+            << "#   C&S attempts + backlink traversals + next/curr updates.\n"
+            << "#   Step counts are schedule-driven and remain meaningful\n"
+            << "#   on machines with few cores; wall-clock scalability\n"
+            << "#   numbers are only meaningful with >= the thread count\n"
+            << "#   in physical cores.\n"
+            << "##########################################################"
+            << std::endl;
+}
+
+}  // namespace lf::harness

@@ -1,0 +1,11 @@
+// Benchmark environment banner: records what the measurements ran on so
+// EXPERIMENTS.md entries carry their context.
+#pragma once
+
+namespace lf::harness {
+
+// Prints hardware-concurrency, build flags and the step-cost caveat for
+// single-core machines. Call once at the top of every bench binary.
+void print_environment(const char* experiment_id, const char* claim);
+
+}  // namespace lf::harness

@@ -1,0 +1,36 @@
+// Aligned ASCII table printer for the benchmark binaries.
+//
+// Every experiment prints its results as one or more of these tables so
+// EXPERIMENTS.md can quote benchmark output verbatim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lf::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  // Convenience cell formatters.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+  static std::string ratio(double a, double b, int precision = 1);
+
+  // Render with column alignment (first column left, rest right).
+  std::string to_string() const;
+  void print() const;  // to stdout, followed by a blank line
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Section header for bench output: "== title ==".
+void print_section(const std::string& title);
+
+}  // namespace lf::harness

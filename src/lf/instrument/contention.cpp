@@ -1,0 +1,6 @@
+#include "lf/instrument/contention.h"
+
+// ContentionMeter is fully inline; this translation unit exists so the
+// header has a home in the library and to pin the vtable-free type's
+// layout in one place if it ever grows out-of-line members.
+namespace lf::stats {}

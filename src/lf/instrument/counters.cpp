@@ -1,0 +1,110 @@
+#include "lf/instrument/counters.h"
+
+#include <mutex>
+#include <unordered_set>
+
+namespace lf::stats {
+namespace {
+
+// Registry of live per-thread counter blocks plus the retained totals of
+// threads that have exited. Registration happens once per thread; the mutex
+// is never touched on the counting fast path.
+struct Registry {
+  std::mutex mu;
+  std::unordered_set<const StepCounters*> live;
+  Snapshot drained;
+
+  static Registry& instance() {
+    static Registry r;  // leaked-on-exit semantics are fine and avoid
+    return r;           // destruction-order hazards with late TLS teardown
+  }
+};
+
+}  // namespace
+
+StepCounters::StepCounters() {
+  auto& reg = Registry::instance();
+  std::lock_guard lock(reg.mu);
+  reg.live.insert(this);
+}
+
+StepCounters::~StepCounters() {
+  auto& reg = Registry::instance();
+  std::lock_guard lock(reg.mu);
+  reg.drained += read();
+  reg.live.erase(this);
+}
+
+StepCounters& tls() {
+  thread_local StepCounters block;
+  return block;
+}
+
+Snapshot aggregate() {
+  auto& reg = Registry::instance();
+  std::lock_guard lock(reg.mu);
+  Snapshot total = reg.drained;
+  for (const StepCounters* block : reg.live) total += block->read();
+  return total;
+}
+
+namespace {
+
+// Registry for the thread-local chain-length histograms. Unlike the scalar
+// counters, histograms are only read/merged at quiescent points, so plain
+// (mutex-protected at register/drain time, owner-written otherwise) storage
+// suffices.
+struct ChainHistSlot {
+  Histogram hist;
+
+  ChainHistSlot();
+  ~ChainHistSlot();
+};
+
+struct ChainHistRegistry {
+  std::mutex mu;
+  std::unordered_set<ChainHistSlot*> live;
+  Histogram drained;
+
+  static ChainHistRegistry& instance() {
+    static ChainHistRegistry r;
+    return r;
+  }
+};
+
+ChainHistSlot::ChainHistSlot() {
+  auto& reg = ChainHistRegistry::instance();
+  std::lock_guard lock(reg.mu);
+  reg.live.insert(this);
+}
+
+ChainHistSlot::~ChainHistSlot() {
+  auto& reg = ChainHistRegistry::instance();
+  std::lock_guard lock(reg.mu);
+  reg.drained.merge(hist);
+  reg.live.erase(this);
+}
+
+}  // namespace
+
+Histogram& chain_hist_tls() {
+  thread_local ChainHistSlot slot;
+  return slot.hist;
+}
+
+Histogram aggregate_chain_hist() {
+  auto& reg = ChainHistRegistry::instance();
+  std::lock_guard lock(reg.mu);
+  Histogram total = reg.drained;
+  for (ChainHistSlot* slot : reg.live) total.merge(slot->hist);
+  return total;
+}
+
+void reset_chain_hist() {
+  auto& reg = ChainHistRegistry::instance();
+  std::lock_guard lock(reg.mu);
+  reg.drained = Histogram{};
+  for (ChainHistSlot* slot : reg.live) slot->hist = Histogram{};
+}
+
+}  // namespace lf::stats

@@ -1,0 +1,250 @@
+#include "lf/reclaim/epoch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace lf::reclaim {
+namespace {
+
+// Domain id -> live domain. Used by thread-exit cleanup to avoid touching a
+// destroyed domain. Heap-allocated and never destroyed so it is valid during
+// late TLS teardown regardless of static destruction order.
+struct DomainIdMap {
+  std::mutex mu;
+  std::unordered_map<std::uint64_t, EpochDomain*> map;
+  std::atomic<std::uint64_t> next_id{1};
+};
+
+DomainIdMap& id_map() {
+  static DomainIdMap* m = new DomainIdMap;
+  return *m;
+}
+
+}  // namespace
+
+// Per-thread slot inside a domain. `state` packs (epoch << 1) | active and is
+// the only field other threads read; everything else is owner-only (or
+// registry-lock-protected during acquire/release).
+struct EpochDomain::ThreadState {
+  CacheAligned<std::atomic<std::uint64_t>> state;  // (epoch << 1) | active
+  RetiredNode* limbo[kBuckets] = {};
+  std::uint64_t limbo_epoch[kBuckets] = {};  // epoch the bucket was filed under
+  std::uint64_t retire_since_scan = 0;
+  std::uint32_t pin_depth = 0;
+  bool in_use = false;
+};
+
+EpochDomain::EpochDomain() : domain_id_(id_map().next_id.fetch_add(1)) {
+  global_epoch_->store(kBuckets, std::memory_order_relaxed);  // start > grace
+  retired_live_->store(0, std::memory_order_relaxed);
+  std::lock_guard lock(id_map().mu);
+  id_map().map.emplace(domain_id_, this);
+}
+
+EpochDomain::~EpochDomain() {
+  {
+    // Unregister first: any thread exiting after this point skips us.
+    std::lock_guard lock(id_map().mu);
+    id_map().map.erase(domain_id_);
+  }
+  drain();
+  // Precondition: no thread is still operating on structures that use this
+  // domain, so every remaining limbo list is quiescent garbage.
+  std::lock_guard lock(registry_mu_);
+  for (ThreadState* ts : slots_) {
+    for (auto*& head : ts->limbo) {
+      free_list(head, *retired_live_);
+      head = nullptr;
+    }
+    delete ts;
+  }
+  slots_.clear();
+  for (auto*& head : orphans_) {
+    free_list(head, *retired_live_);
+    head = nullptr;
+  }
+}
+
+EpochDomain& EpochDomain::global() {
+  static EpochDomain* d = new EpochDomain;  // immortal: see header contract
+  return *d;
+}
+
+EpochDomain::Guard::Guard(EpochDomain& domain)
+    : domain_(domain), ts_(&domain.thread_state()) {
+  outermost_ = (ts_->pin_depth++ == 0);
+  if (!outermost_) return;
+  // Publish (epoch, active) and verify the global did not move past us; this
+  // loop is what makes the advertised epoch trustworthy to advancers.
+  for (;;) {
+    const std::uint64_t e =
+        domain_.global_epoch_->load(std::memory_order_seq_cst);
+    ts_->state->store((e << 1) | 1, std::memory_order_seq_cst);
+    if (domain_.global_epoch_->load(std::memory_order_seq_cst) == e) {
+      domain_.reclaim_bucket_locally(*ts_, e);
+      break;
+    }
+  }
+}
+
+EpochDomain::Guard::~Guard() {
+  if (!outermost_) {
+    --ts_->pin_depth;
+    return;
+  }
+  --ts_->pin_depth;
+  const std::uint64_t w = ts_->state->load(std::memory_order_relaxed);
+  ts_->state->store(w & ~std::uint64_t{1}, std::memory_order_seq_cst);
+}
+
+void EpochDomain::retire_erased(void* object, void (*deleter)(void*)) {
+  Guard pin(*this);  // keep our slot registered while touching its lists
+  ThreadState& ts = *pin.ts_;
+  // File under the CURRENT global epoch, not this thread's pinned epoch.
+  // A pinned reader that could still reach the object was pinned no later
+  // than the object's unlink, so (global epoch now) >= (its pin epoch) by
+  // monotonicity, and freeing at +2 cannot overtake it. Filing under our
+  // own pinned epoch would be unsound: it can lag the global by one, which
+  // shaves the grace period to a single epoch for readers pinned at the
+  // current one (found by ThreadSanitizer on the churn stress test).
+  const std::uint64_t e = global_epoch_->load(std::memory_order_seq_cst);
+  const int idx = static_cast<int>(e % kBuckets);
+  if (ts.limbo_epoch[idx] != e) {
+    // Residue collision: existing content was filed at <= e - 3, which is
+    // already past the 2-epoch grace period. Free it before reusing.
+    free_list(ts.limbo[idx], *retired_live_);
+    ts.limbo[idx] = nullptr;
+    ts.limbo_epoch[idx] = e;
+  }
+  auto* rn = new RetiredNode{object, deleter, ts.limbo[idx]};
+  ts.limbo[idx] = rn;
+  retired_live_->fetch_add(1, std::memory_order_relaxed);
+  stats::tls().node_retired.inc();
+  if (++ts.retire_since_scan >= kAdvanceEvery) {
+    ts.retire_since_scan = 0;
+    try_advance();
+  }
+}
+
+EpochDomain::ThreadState& EpochDomain::thread_state() {
+  struct Entry {
+    std::uint64_t domain_id;
+    ThreadState* ts;
+  };
+  struct Cache {
+    std::vector<Entry> entries;
+    ~Cache() {
+      for (const Entry& e : entries) {
+        EpochDomain* domain = nullptr;
+        {
+          std::lock_guard lock(id_map().mu);
+          auto it = id_map().map.find(e.domain_id);
+          if (it != id_map().map.end()) domain = it->second;
+        }
+        if (domain != nullptr) domain->release_slot(e.ts);
+      }
+    }
+  };
+  thread_local Cache cache;
+
+  for (const Entry& e : cache.entries)
+    if (e.domain_id == domain_id_) return *e.ts;
+  ThreadState* ts = acquire_slot();
+  cache.entries.push_back(Entry{domain_id_, ts});
+  return *ts;
+}
+
+EpochDomain::ThreadState* EpochDomain::acquire_slot() {
+  std::lock_guard lock(registry_mu_);
+  for (ThreadState* ts : slots_) {
+    if (!ts->in_use) {
+      ts->in_use = true;
+      return ts;
+    }
+  }
+  auto* ts = new ThreadState;
+  ts->in_use = true;
+  slots_.push_back(ts);
+  return ts;
+}
+
+void EpochDomain::release_slot(ThreadState* ts) {
+  std::lock_guard lock(registry_mu_);
+  assert(ts->pin_depth == 0 && "thread exited while pinned");
+  for (int b = 0; b < kBuckets; ++b) {
+    if (ts->limbo[b] == nullptr) continue;
+    RetiredNode* tail = ts->limbo[b];
+    while (tail->next != nullptr) tail = tail->next;
+    tail->next = orphans_[b];
+    orphans_[b] = ts->limbo[b];
+    orphan_epochs_[b] = std::max(orphan_epochs_[b], ts->limbo_epoch[b]);
+    ts->limbo[b] = nullptr;
+    ts->limbo_epoch[b] = 0;
+  }
+  ts->retire_since_scan = 0;
+  ts->state->store(0, std::memory_order_seq_cst);
+  ts->in_use = false;
+}
+
+bool EpochDomain::try_advance() {
+  const std::uint64_t e = global_epoch_->load(std::memory_order_seq_cst);
+  std::lock_guard lock(registry_mu_);
+  for (ThreadState* ts : slots_) {
+    const std::uint64_t w = ts->state->load(std::memory_order_seq_cst);
+    if ((w & 1) != 0 && (w >> 1) != e) return false;  // straggler pinned
+  }
+  std::uint64_t expected = e;
+  if (!global_epoch_->compare_exchange_strong(expected, e + 1,
+                                              std::memory_order_seq_cst)) {
+    return false;  // someone else advanced; they will handle orphans
+  }
+  for (int b = 0; b < kBuckets; ++b) {
+    if (orphans_[b] != nullptr && orphan_epochs_[b] + 2 <= e + 1) {
+      free_list(orphans_[b], *retired_live_);
+      orphans_[b] = nullptr;
+    }
+  }
+  return true;
+}
+
+void EpochDomain::reclaim_bucket_locally(ThreadState& ts,
+                                         std::uint64_t observed_epoch) {
+  for (int b = 0; b < kBuckets; ++b) {
+    if (ts.limbo[b] != nullptr && ts.limbo_epoch[b] + 2 <= observed_epoch) {
+      free_list(ts.limbo[b], *retired_live_);
+      ts.limbo[b] = nullptr;
+    }
+  }
+}
+
+void EpochDomain::free_list(RetiredNode* head,
+                            std::atomic<std::uint64_t>& live) {
+  std::uint64_t n = 0;
+  while (head != nullptr) {
+    RetiredNode* next = head->next;
+    head->deleter(head->object);
+    delete head;
+    head = next;
+    ++n;
+  }
+  if (n > 0) {
+    live.fetch_sub(n, std::memory_order_relaxed);
+    stats::tls().node_freed.inc(n);
+  }
+}
+
+void EpochDomain::drain() {
+  ThreadState& ts = thread_state();
+  assert(ts.pin_depth == 0 && "drain() called under a guard");
+  // Each successful advance retires one more residue class; three passes
+  // drain everything the calling thread and exited threads have retired,
+  // provided no other thread is pinned.
+  for (int i = 0; i < kBuckets; ++i) {
+    try_advance();
+    reclaim_bucket_locally(ts,
+                           global_epoch_->load(std::memory_order_seq_cst));
+  }
+}
+
+}  // namespace lf::reclaim

@@ -1,0 +1,151 @@
+// Epoch-based reclamation (EBR), after Fraser's thesis (the paper's
+// reference [2]) — the default memory manager for every lock-free structure
+// in this repository.
+//
+// Scheme: a global epoch counter advances when every thread currently inside
+// a critical region ("pinned") has observed the current epoch. A node
+// retired in epoch r becomes unreachable-by-new-operations at retire time,
+// so once the global epoch reaches r+2 no pinned operation can still hold a
+// reference and the node may be freed.
+//
+// Why this is safe for THIS paper's structures even though physically
+// deleted nodes remain reachable through backlink chains: to follow a
+// backlink into a physically deleted node X, an operation must hold some
+// node Y whose backlink targets X, and it must have found Y while Y was
+// still in the list — which happens-before Y's physical deletion, which
+// happens-before X's (a flagged node cannot be marked until its successor's
+// deletion completes, so deletions of adjacent nodes complete right-to-left),
+// which happens-before X's retirement. Hence any operation that can ever
+// reach X was pinned before X was retired, and the 2-epoch grace period
+// covers it.
+//
+// Concurrency notes:
+//   * pin() publishes (epoch, active) in a single word with a verify loop,
+//     so the epoch a thread advertises is never stale relative to the global
+//     it verified — the standard correctness requirement for 3-bucket EBR.
+//   * retire() is wait-free (thread-local list append); amortized
+//     reclamation work happens inside try_advance(), triggered every
+//     kAdvanceEvery retirements.
+//   * Threads may come and go: a thread's limbo lists are orphaned to the
+//     domain on thread exit and adopted by a later advancer.
+//
+// A domain must outlive every thread that ever pinned it; the process-wide
+// default domain (EpochDomain::global()) trivially satisfies this. Tests
+// that create their own domains join their threads first and unpin the main
+// thread's cached slot via the registry's id indirection.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "lf/instrument/counters.h"
+#include "lf/util/align.h"
+
+namespace lf::reclaim {
+
+class EpochDomain {
+  struct ThreadState;  // per-thread slot; defined in epoch.cpp
+
+ public:
+  EpochDomain();
+  ~EpochDomain();
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  // The process-wide domain used by EpochReclaimer by default.
+  static EpochDomain& global();
+
+  // RAII pin token. Operations must hold one while dereferencing any node
+  // pointer obtained from a shared location. Re-entrant pinning is supported
+  // (inner guards are no-ops), which helping routines rely on.
+  class Guard {
+   public:
+    explicit Guard(EpochDomain& domain);
+    ~Guard();
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    friend class EpochDomain;  // retire_erased files under the pinned epoch
+    EpochDomain& domain_;
+    ThreadState* ts_;
+    bool outermost_;
+  };
+
+  Guard guard() { return Guard(*this); }
+
+  // Hand over an unlinked node; it is deleted (via `delete`) after the grace
+  // period. Must be called at most once per node, under a guard or not.
+  template <typename Node>
+  void retire(Node* node) {
+    retire_erased(node, [](void* p) { delete static_cast<Node*>(p); });
+  }
+
+  // Drives epochs forward and frees everything whose grace period elapsed.
+  // Only fully drains when no thread is pinned. Intended for tests,
+  // structure destructors and benchmark teardown.
+  void drain();
+
+  // Diagnostics.
+  std::uint64_t epoch() const noexcept {
+    return global_epoch_->load(std::memory_order_acquire);
+  }
+  std::uint64_t retired_count() const noexcept {
+    return retired_live_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Guard;
+
+  struct RetiredNode {
+    void* object;
+    void (*deleter)(void*);
+    RetiredNode* next;
+  };
+
+  // One limbo list per epoch residue class.
+  static constexpr int kBuckets = 3;
+  // How many retirements between reclamation attempts.
+  static constexpr std::uint64_t kAdvanceEvery = 64;
+
+  void retire_erased(void* object, void (*deleter)(void*));
+  ThreadState& thread_state();
+  ThreadState* acquire_slot();
+  void release_slot(ThreadState* ts);  // thread exit: orphan limbo lists
+  bool try_advance();
+  void reclaim_bucket_locally(ThreadState& ts, std::uint64_t observed_epoch);
+  static void free_list(RetiredNode* head, std::atomic<std::uint64_t>& live);
+
+  CacheAligned<std::atomic<std::uint64_t>> global_epoch_;
+  CacheAligned<std::atomic<std::uint64_t>> retired_live_;
+
+  std::mutex registry_mu_;
+  std::vector<ThreadState*> slots_;          // all ever-created slots (owned)
+  RetiredNode* orphans_[kBuckets] = {};      // limbo of exited threads
+  std::uint64_t orphan_epochs_[kBuckets] = {};
+
+  const std::uint64_t domain_id_;
+};
+
+// Policy adapter satisfying reclaimer_for<Node>, referencing a domain.
+class EpochReclaimer {
+ public:
+  EpochReclaimer() : domain_(&EpochDomain::global()) {}
+  explicit EpochReclaimer(EpochDomain& domain) : domain_(&domain) {}
+
+  EpochDomain::Guard guard() { return domain_->guard(); }
+
+  template <typename Node>
+  void retire(Node* node) {
+    domain_->retire(node);
+  }
+
+  EpochDomain& domain() noexcept { return *domain_; }
+
+ private:
+  EpochDomain* domain_;
+};
+
+}  // namespace lf::reclaim

@@ -1,0 +1,107 @@
+// Hazard pointers — Michael's Safe Memory Reclamation (the paper's
+// reference [9]).
+//
+// A thread protects a node by publishing its address in one of its hazard
+// slots and re-validating that the node is still reachable from where the
+// pointer was loaded; retired nodes are only freed when no published hazard
+// slot holds them.
+//
+// This is the reclamation scheme the Michael-list baseline was designed for
+// (its find() restarts whenever validation fails, which is exactly why the
+// FR structures — whose point is to *never* restart — pair more naturally
+// with epoch reclamation; experiment E9 quantifies both pairings).
+//
+// Protocol expected of users, per slot:
+//     do { p = src.load(); slots.set(i, p); } while (src.load() != p);
+//     ... p is safe to dereference until slots.clear(i) ...
+// The list code implements that loop itself because "reachable" is
+// structure-specific (tag bits, etc.).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "lf/instrument/counters.h"
+#include "lf/util/align.h"
+
+namespace lf::reclaim {
+
+class HazardDomain {
+  struct RetiredNode;  // type-erased retired-node record; defined below
+
+ public:
+  // Hazard slots per thread. Michael's list needs 3; one spare.
+  static constexpr int kSlotsPerThread = 4;
+
+  HazardDomain();
+  ~HazardDomain();
+  HazardDomain(const HazardDomain&) = delete;
+  HazardDomain& operator=(const HazardDomain&) = delete;
+
+  static HazardDomain& global();
+
+  // The calling thread's hazard slots in this domain (acquired on first
+  // use, released at thread exit).
+  class ThreadSlots {
+   public:
+    void set(int i, const void* p) noexcept {
+      hp_[i].value.store(const_cast<void*>(p), std::memory_order_seq_cst);
+    }
+    void clear(int i) noexcept {
+      hp_[i].value.store(nullptr, std::memory_order_release);
+    }
+    void clear_all() noexcept {
+      for (auto& slot : hp_) slot.value.store(nullptr,
+                                              std::memory_order_release);
+    }
+
+   private:
+    friend class HazardDomain;
+    CacheAligned<std::atomic<void*>> hp_[kSlotsPerThread];
+    RetiredNode* retired_ = nullptr;
+    std::uint64_t retired_count_ = 0;
+    bool in_use_ = false;
+  };
+
+  ThreadSlots& slots();
+
+  // Retire an unlinked node; freed by a later scan() once unprotected.
+  template <typename Node>
+  void retire(Node* node) {
+    retire_erased(node, [](void* p) { delete static_cast<Node*>(p); });
+  }
+
+  // Force a scan on the calling thread's retire list plus adopted orphans.
+  // Frees every retired node not currently protected by any hazard slot.
+  void scan();
+
+  std::uint64_t retired_count() const noexcept {
+    return retired_live_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct RetiredNode {
+    void* object;
+    void (*deleter)(void*);
+    RetiredNode* next;
+  };
+
+  void retire_erased(void* object, void (*deleter)(void*));
+  ThreadSlots* acquire_record();
+  void release_record(ThreadSlots* rec);  // thread exit
+  void scan_record(ThreadSlots& rec);
+  std::uint64_t scan_threshold() const noexcept;
+
+  CacheAligned<std::atomic<std::uint64_t>> retired_live_;
+
+  std::mutex registry_mu_;
+  std::vector<ThreadSlots*> records_;  // owned; includes released records
+  RetiredNode* orphans_ = nullptr;
+  std::uint64_t orphan_count_ = 0;
+
+  const std::uint64_t domain_id_;
+};
+
+}  // namespace lf::reclaim

@@ -1,0 +1,26 @@
+// The no-op reclaimer: unlinked nodes are never freed.
+//
+// This matches the paper's own presentation (memory management is out of
+// scope there) and gives benchmarks a zero-overhead baseline to quantify
+// what epoch/hazard reclamation costs (experiment E9). Long-running
+// processes should use EpochReclaimer.
+#pragma once
+
+#include "lf/instrument/counters.h"
+
+namespace lf::reclaim {
+
+class LeakyReclaimer {
+ public:
+  struct Guard {};
+
+  Guard guard() noexcept { return {}; }
+
+  template <typename Node>
+  void retire(Node* /*node*/) noexcept {
+    // Deliberately leaked; counted so tests can assert the retire paths ran.
+    stats::tls().node_retired.inc();
+  }
+};
+
+}  // namespace lf::reclaim

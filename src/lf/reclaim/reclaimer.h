@@ -1,0 +1,41 @@
+// Reclaimer policy interface.
+//
+// The paper deliberately leaves memory management out ("We have not
+// explicitly incorporated a memory management technique", Section 5) and
+// notes reference counting would apply because physically deleted nodes form
+// no cycles. This repository instead makes reclamation a pluggable policy on
+// every data structure, with three implementations:
+//
+//   * LeakyReclaimer  — never frees unlinked nodes; the paper's own setting.
+//                       Useful to benchmark the pure algorithm (E9 baseline).
+//   * EpochReclaimer  — epoch-based reclamation (Fraser). The default. Safe
+//                       for this paper's structures *including backlink
+//                       traversal of physically deleted nodes*, because a
+//                       node retired in epoch r can only be reached by an
+//                       operation already pinned when r began, and such an
+//                       operation blocks the 2-epoch grace period.
+//   * Hazard pointers — Michael's SMR; requires the per-traversal protect/
+//                       validate discipline, so it is used by MichaelListHP
+//                       (whose find() was designed for it) rather than being
+//                       a drop-in policy for the FR structures.
+//
+// A policy provides:
+//   Guard guard()            RAII critical-section token. All loads of
+//                            shared node pointers must happen under a guard.
+//   void retire(T* node)     hand an unlinked node over; it is deleted when
+//                            no operation can still hold a reference.
+#pragma once
+
+#include <concepts>
+#include <utility>
+
+namespace lf::reclaim {
+
+// Duck-typed policy concept used by the data-structure templates.
+template <typename R, typename Node>
+concept reclaimer_for = requires(R r, Node* n) {
+  { r.guard() };
+  { r.retire(n) };
+};
+
+}  // namespace lf::reclaim

@@ -1,0 +1,51 @@
+// Bounded exponential backoff.
+//
+// The paper's algorithms never need backoff for correctness (lock-freedom is
+// unconditional), but baselines that restart from the head (Harris, Michael)
+// and spin-heavy benchmark loops behave pathologically under heavy
+// oversubscription without it. Used only where a comment says so.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace lf::sync {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+class Backoff {
+ public:
+  explicit Backoff(std::uint32_t max_spins = 1024) noexcept
+      : max_spins_(max_spins) {}
+
+  void pause() noexcept {
+    for (std::uint32_t i = 0; i < current_; ++i) cpu_relax();
+    if (current_ < max_spins_) {
+      current_ *= 2;
+    } else {
+      // Past the spin budget: yield the core. Essential on machines with
+      // fewer cores than threads (like this repo's single-core CI).
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() noexcept { current_ = 1; }
+
+ private:
+  std::uint32_t current_ = 1;
+  std::uint32_t max_spins_;
+};
+
+}  // namespace lf::sync

@@ -1,0 +1,33 @@
+// Cache-line alignment utilities.
+//
+// Shared counters and per-thread slots that sit on the same cache line
+// serialize on the coherence protocol ("false sharing"); every mutable
+// shared word in this library is padded to its own line.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace lf {
+
+// Pinned to 64 bytes rather than std::hardware_destructive_interference_size:
+// the standard constant varies with compiler version and -mtune (GCC warns
+// when it leaks into ABIs for exactly that reason), while 64 is correct for
+// all mainstream x86-64 and AArch64 parts.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+// A value padded out to occupy (at least) one full cache line.
+//
+// Usage:
+//   lf::CacheAligned<std::atomic<uint64_t>> counters_[kMaxThreads];
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  T value{};
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+}  // namespace lf

@@ -1,0 +1,84 @@
+// Streaming histogram for integer samples (chain lengths, step counts,
+// tower heights, latencies-in-steps).
+//
+// Buckets are exact up to kExactLimit and power-of-two beyond, so the
+// memory footprint is fixed while small values (the common case for
+// backlink-chain lengths) stay exact. Single-writer; merge across threads
+// after the measured region.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace lf {
+
+class Histogram {
+ public:
+  static constexpr std::uint64_t kExactLimit = 64;
+  // 64 exact buckets + one per power of two from 2^6 up to 2^63.
+  static constexpr int kBuckets = kExactLimit + 58;
+
+  void record(std::uint64_t v) noexcept {
+    ++counts_[bucket_of(v)];
+    ++n_;
+    sum_ += v;
+    max_ = std::max(max_, v);
+  }
+
+  void merge(const Histogram& other) noexcept {
+    for (int i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    n_ += other.n_;
+    sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
+  }
+
+  std::uint64_t count() const noexcept { return n_; }
+  std::uint64_t max() const noexcept { return max_; }
+  double mean() const noexcept {
+    return n_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(n_);
+  }
+
+  // Value at quantile q in [0,1]: upper bound of the bucket holding the
+  // q-th sample (exact for values < kExactLimit).
+  std::uint64_t quantile(double q) const noexcept {
+    if (n_ == 0) return 0;
+    const auto target =
+        static_cast<std::uint64_t>(q * static_cast<double>(n_ - 1));
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += counts_[i];
+      if (seen > target) return bucket_upper(i);
+    }
+    return max_;
+  }
+
+  std::uint64_t count_at_least(std::uint64_t v) const noexcept {
+    std::uint64_t total = 0;
+    for (int i = bucket_of(v); i < kBuckets; ++i) total += counts_[i];
+    return total;
+  }
+
+  std::uint64_t bucket_count(int i) const noexcept { return counts_[i]; }
+
+  static int bucket_of(std::uint64_t v) noexcept {
+    if (v < kExactLimit) return static_cast<int>(v);
+    // 64-bit values >= 64 have bit_width in [7, 64]; map to buckets 64..121.
+    const int width = 64 - __builtin_clzll(v);
+    return static_cast<int>(kExactLimit) + width - 7;
+  }
+
+  static std::uint64_t bucket_upper(int i) noexcept {
+    if (i < static_cast<int>(kExactLimit)) return static_cast<std::uint64_t>(i);
+    return (1ULL << (i - kExactLimit + 7)) - 1;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t n_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace lf

@@ -1,0 +1,31 @@
+// Wall-clock stopwatch used by the benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace lf {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  std::uint64_t elapsed_nanos() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lf

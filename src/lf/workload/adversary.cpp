@@ -1,0 +1,5 @@
+#include "lf/workload/adversary.h"
+
+// The adversary driver is a header-only template (it must see the concrete
+// list types); this translation unit anchors the header in the library.
+namespace lf::workload {}

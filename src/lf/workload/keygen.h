@@ -1,0 +1,40 @@
+// Key-stream generators for benchmark workloads.
+//
+// Uniform and Zipfian draws over a fixed key space, each thread owning an
+// independently seeded generator so key generation adds no synchronization
+// to the measured region.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "lf/util/random.h"
+
+namespace lf::workload {
+
+enum class KeyDist { kUniform, kZipfian };
+
+class KeyGen {
+ public:
+  KeyGen(KeyDist dist, std::uint64_t key_space, std::uint64_t seed,
+         double zipf_theta = 0.99)
+      : dist_(dist), key_space_(key_space), rng_(seed) {
+    if (dist_ == KeyDist::kZipfian)
+      zipf_ = std::make_unique<ZipfGenerator>(key_space, zipf_theta, seed);
+  }
+
+  std::uint64_t next() noexcept {
+    if (dist_ == KeyDist::kZipfian) return (*zipf_)();
+    return rng_.below(key_space_);
+  }
+
+  std::uint64_t key_space() const noexcept { return key_space_; }
+
+ private:
+  KeyDist dist_;
+  std::uint64_t key_space_;
+  Xoshiro256 rng_;
+  std::unique_ptr<ZipfGenerator> zipf_;
+};
+
+}  // namespace lf::workload

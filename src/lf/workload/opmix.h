@@ -1,0 +1,38 @@
+// Operation-mix selection for benchmark workloads.
+//
+// A mix is (insert%, erase%, search% = remainder), the parameterization
+// used throughout the experimental literature the paper builds on
+// (Harris DISC'01, Michael SPAA'02, Fraser's thesis).
+#pragma once
+
+#include <cstdint>
+
+#include "lf/util/random.h"
+
+namespace lf::workload {
+
+enum class Op { kInsert, kErase, kSearch };
+
+struct OpMix {
+  int insert_pct = 10;
+  int erase_pct = 10;
+  // search = 100 - insert - erase
+
+  Op pick(Xoshiro256& rng) const noexcept {
+    const auto roll = static_cast<int>(rng.below(100));
+    if (roll < insert_pct) return Op::kInsert;
+    if (roll < insert_pct + erase_pct) return Op::kErase;
+    return Op::kSearch;
+  }
+
+  const char* name() const noexcept {
+    // Conventional labels for the standard grids.
+    if (insert_pct == 10 && erase_pct == 10) return "10i/10d/80s";
+    if (insert_pct == 30 && erase_pct == 30) return "30i/30d/40s";
+    if (insert_pct == 50 && erase_pct == 50) return "50i/50d/0s";
+    if (insert_pct == 0 && erase_pct == 0) return "search-only";
+    return "custom";
+  }
+};
+
+}  // namespace lf::workload

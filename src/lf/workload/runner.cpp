@@ -1,0 +1,5 @@
+#include "lf/workload/runner.h"
+
+// The driver is a header-only template; this translation unit anchors the
+// header in the library build so its includes stay self-contained.
+namespace lf::workload {}

@@ -1,0 +1,137 @@
+// Multi-threaded workload driver.
+//
+// Runs a fixed number of operations per thread against any
+// concurrent_map_like structure, with a barrier-aligned start, per-thread
+// key/op generators, optional point-contention metering, and step-counter
+// deltas captured around the measured region. Used by most benchmark
+// binaries and by the concurrent integration tests.
+#pragma once
+
+#include <barrier>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "lf/core/set_traits.h"
+#include "lf/instrument/contention.h"
+#include "lf/instrument/counters.h"
+#include "lf/util/random.h"
+#include "lf/util/timer.h"
+#include "lf/workload/keygen.h"
+#include "lf/workload/opmix.h"
+
+namespace lf::workload {
+
+struct RunConfig {
+  int threads = 4;
+  std::uint64_t ops_per_thread = 100'000;
+  std::uint64_t key_space = 2048;
+  OpMix mix{};
+  KeyDist dist = KeyDist::kUniform;
+  double zipf_theta = 0.99;
+  std::uint64_t seed = 42;
+  std::uint64_t prefill = 1024;  // successful inserts before measurement
+  bool measure_contention = true;
+};
+
+struct RunResult {
+  double seconds = 0;
+  std::uint64_t total_ops = 0;
+  stats::Snapshot steps;      // delta over the measured region (all threads)
+  double avg_contention = 0;  // sampled average of c(S); 0 if not measured
+
+  double mops_per_sec() const {
+    return seconds == 0 ? 0 : static_cast<double>(total_ops) / seconds / 1e6;
+  }
+  double steps_per_op() const {
+    return total_ops == 0 ? 0
+                          : static_cast<double>(steps.essential_steps()) /
+                                static_cast<double>(total_ops);
+  }
+  double cas_per_op() const {
+    return total_ops == 0 ? 0
+                          : static_cast<double>(steps.cas_attempt) /
+                                static_cast<double>(total_ops);
+  }
+};
+
+// Issue one dictionary operation against the structure.
+template <typename Set>
+void apply(Set& set, Op op, typename Set::key_type k) {
+  switch (op) {
+    case Op::kInsert:
+      set.insert(k, static_cast<typename Set::mapped_type>(k));
+      break;
+    case Op::kErase:
+      set.erase(k);
+      break;
+    case Op::kSearch:
+      set.contains(k);
+      break;
+  }
+}
+
+// Fill `set` with cfg.prefill distinct random keys drawn from the key
+// space. Deterministic for a fixed seed.
+template <typename Set>
+void prefill(Set& set, const RunConfig& cfg) {
+  Xoshiro256 rng(cfg.seed ^ 0xabcdef12345ULL);
+  std::uint64_t inserted = 0;
+  while (inserted < cfg.prefill) {
+    const auto k =
+        static_cast<typename Set::key_type>(rng.below(cfg.key_space));
+    if (set.insert(k, static_cast<typename Set::mapped_type>(k))) ++inserted;
+  }
+}
+
+// Run the configured mixed workload. The structure should already be
+// prefilled; measurement covers exactly the worker threads' operation
+// loops (workers are joined before counters are read, so the step delta is
+// race-free).
+template <typename Set>
+  requires concurrent_map_like<Set>
+RunResult run_workload(Set& set, const RunConfig& cfg) {
+  using KeyT = typename Set::key_type;
+
+  stats::ContentionMeter meter;
+  std::barrier start_line(cfg.threads + 1);
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(cfg.threads));
+
+  const stats::Snapshot before = stats::aggregate();
+  for (int t = 0; t < cfg.threads; ++t) {
+    workers.emplace_back([&, t] {
+      Xoshiro256 op_rng(cfg.seed * 31 + static_cast<std::uint64_t>(t) + 1);
+      KeyGen keys(cfg.dist, cfg.key_space,
+                  cfg.seed * 131 + static_cast<std::uint64_t>(t) + 7,
+                  cfg.zipf_theta);
+      start_line.arrive_and_wait();
+      for (std::uint64_t i = 0; i < cfg.ops_per_thread; ++i) {
+        const auto k = static_cast<KeyT>(keys.next());
+        const Op op = cfg.mix.pick(op_rng);
+        if (cfg.measure_contention) {
+          stats::ContentionMeter::OperationScope scope(meter);
+          apply(set, op, k);
+        } else {
+          apply(set, op, k);
+        }
+      }
+    });
+  }
+
+  Stopwatch clock;
+  start_line.arrive_and_wait();
+  for (auto& w : workers) w.join();
+  const double seconds = clock.elapsed_seconds();
+  const stats::Snapshot after = stats::aggregate();
+
+  RunResult out;
+  out.seconds = seconds;
+  out.total_ops =
+      static_cast<std::uint64_t>(cfg.threads) * cfg.ops_per_thread;
+  out.steps = after - before;
+  out.avg_contention = cfg.measure_contention ? meter.average() : 0.0;
+  return out;
+}
+
+}  // namespace lf::workload

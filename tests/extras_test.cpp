@@ -1,0 +1,271 @@
+// Tests for the extension structures built on the paper's containers:
+// the skip-list priority queue (the use case of the paper's reference
+// [14]) and the hash map with FRList buckets (reference [8]'s design).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <set>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "lf/extras/hash_map.h"
+#include "lf/extras/priority_queue.h"
+#include "lf/util/random.h"
+
+namespace {
+
+// ---- priority queue -------------------------------------------------------
+
+TEST(PriorityQueue, PopsInPriorityOrder) {
+  lf::extras::FRPriorityQueue<int, std::string> pq;
+  EXPECT_TRUE(pq.push(30, "c"));
+  EXPECT_TRUE(pq.push(10, "a"));
+  EXPECT_TRUE(pq.push(20, "b"));
+  auto a = pq.pop_min();
+  auto b = pq.pop_min();
+  auto c = pq.pop_min();
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(a->first, 10);
+  EXPECT_EQ(a->second, "a");
+  EXPECT_EQ(b->first, 20);
+  EXPECT_EQ(c->first, 30);
+  EXPECT_FALSE(pq.pop_min().has_value());
+  EXPECT_TRUE(pq.empty());
+}
+
+TEST(PriorityQueue, DuplicatePriorityRejected) {
+  lf::extras::FRPriorityQueue<int, int> pq;
+  EXPECT_TRUE(pq.push(5, 1));
+  EXPECT_FALSE(pq.push(5, 2));
+  EXPECT_EQ(pq.size(), 1u);
+  EXPECT_EQ(pq.pop_min()->second, 1);
+}
+
+TEST(PriorityQueue, PeekDoesNotRemove) {
+  lf::extras::FRPriorityQueue<int, int> pq;
+  pq.push(7, 70);
+  EXPECT_EQ(pq.peek_min()->first, 7);
+  EXPECT_EQ(pq.size(), 1u);
+  EXPECT_EQ(pq.pop_min()->first, 7);
+}
+
+TEST(PriorityQueue, EmptyBehaviour) {
+  lf::extras::FRPriorityQueue<long, long> pq;
+  EXPECT_TRUE(pq.empty());
+  EXPECT_FALSE(pq.peek_min().has_value());
+  EXPECT_FALSE(pq.pop_min().has_value());
+  EXPECT_EQ(pq.size(), 0u);
+}
+
+TEST(PriorityQueue, InterleavedPushPop) {
+  lf::extras::FRPriorityQueue<int, int> pq;
+  pq.push(5, 5);
+  pq.push(1, 1);
+  EXPECT_EQ(pq.pop_min()->first, 1);
+  pq.push(3, 3);
+  EXPECT_EQ(pq.pop_min()->first, 3);
+  EXPECT_EQ(pq.pop_min()->first, 5);
+  EXPECT_TRUE(pq.empty());
+}
+
+TEST(PriorityQueue, EveryEntryPoppedExactlyOnce) {
+  // The core concurrent guarantee: N producers push disjoint priorities,
+  // M consumers pop concurrently; each entry is delivered to exactly one
+  // consumer, none lost, none duplicated.
+  lf::extras::FRPriorityQueue<long, long> pq;
+  constexpr int kProducers = 2, kConsumers = 3;
+  constexpr long kPerProducer = 2000;
+  constexpr long kTotal = kProducers * kPerProducer;
+
+  std::atomic<long> produced{0};
+  std::atomic<bool> done_producing{false};
+  std::vector<std::vector<long>> received(kConsumers);
+
+  std::barrier start(kProducers + kConsumers);
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      start.arrive_and_wait();
+      for (long i = 0; i < kPerProducer; ++i) {
+        const long key = p * kPerProducer + i;
+        ASSERT_TRUE(pq.push(key, key * 2));
+        produced.fetch_add(1);
+      }
+      if (produced.load() == kTotal) done_producing.store(true);
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&, c] {
+      start.arrive_and_wait();
+      for (;;) {
+        auto item = pq.pop_min();
+        if (item.has_value()) {
+          ASSERT_EQ(item->second, item->first * 2);
+          received[c].push_back(item->first);
+        } else if (done_producing.load() && !pq.peek_min().has_value()) {
+          break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::set<long> all;
+  std::size_t total = 0;
+  for (const auto& r : received) {
+    total += r.size();
+    all.insert(r.begin(), r.end());
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(kTotal));  // none lost/dup'ed
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kTotal));
+  EXPECT_TRUE(pq.empty());
+}
+
+TEST(PriorityQueue, SingleConsumerSeesSortedStream) {
+  lf::extras::FRPriorityQueue<long, long> pq;
+  lf::Xoshiro256 rng(3);
+  std::set<long> keys;
+  while (keys.size() < 500) {
+    const long k = static_cast<long>(rng.below(1 << 20));
+    if (pq.push(k, k)) keys.insert(k);
+  }
+  long prev = -1;
+  while (auto item = pq.pop_min()) {
+    EXPECT_GT(item->first, prev);
+    prev = item->first;
+  }
+  EXPECT_TRUE(pq.empty());
+}
+
+// ---- hash map --------------------------------------------------------------
+
+TEST(HashMap, BasicSemantics) {
+  lf::extras::FRHashMap<long, long> map(64);
+  EXPECT_TRUE(map.insert(1, 10));
+  EXPECT_TRUE(map.insert(65, 650));  // likely same bucket as 1 pre-mix
+  EXPECT_FALSE(map.insert(1, 11));
+  EXPECT_EQ(*map.find(1), 10);
+  EXPECT_EQ(*map.find(65), 650);
+  EXPECT_TRUE(map.erase(1));
+  EXPECT_FALSE(map.erase(1));
+  EXPECT_FALSE(map.contains(1));
+  EXPECT_TRUE(map.contains(65));
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(HashMap, BucketCountRoundsToPowerOfTwo) {
+  lf::extras::FRHashMap<int, int> map(100);
+  EXPECT_EQ(map.bucket_count(), 128u);
+  lf::extras::FRHashMap<int, int> one(1);
+  EXPECT_EQ(one.bucket_count(), 1u);
+  one.insert(5, 5);
+  EXPECT_TRUE(one.contains(5));
+}
+
+TEST(HashMap, StringKeys) {
+  lf::extras::FRHashMap<std::string, int> map(16);
+  EXPECT_TRUE(map.insert("alpha", 1));
+  EXPECT_TRUE(map.insert("beta", 2));
+  EXPECT_EQ(*map.find("beta"), 2);
+  EXPECT_FALSE(map.find("gamma").has_value());
+  EXPECT_TRUE(map.erase("alpha"));
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(HashMap, DifferentialAgainstUnorderedMap) {
+  lf::extras::FRHashMap<long, long> map(32);  // few buckets: long chains
+  std::unordered_map<long, long> model;
+  lf::Xoshiro256 rng(17);
+  for (int i = 0; i < 20000; ++i) {
+    const long k = static_cast<long>(rng.below(500));
+    switch (rng.below(3)) {
+      case 0:
+        ASSERT_EQ(map.insert(k, k * 9), model.emplace(k, k * 9).second) << i;
+        break;
+      case 1:
+        ASSERT_EQ(map.erase(k), model.erase(k) > 0) << i;
+        break;
+      default: {
+        const auto a = map.find(k);
+        ASSERT_EQ(a.has_value(), model.contains(k)) << i;
+        if (a.has_value()) { ASSERT_EQ(*a, model.at(k)); }
+      }
+    }
+  }
+  EXPECT_EQ(map.size(), model.size());
+  std::size_t visited = 0;
+  map.for_each([&](long k, long v) {
+    ++visited;
+    EXPECT_EQ(model.at(k), v);
+  });
+  EXPECT_EQ(visited, model.size());
+}
+
+TEST(HashMap, ConcurrentDisjointWriters) {
+  lf::extras::FRHashMap<long, long> map(256);
+  constexpr int kThreads = 4;
+  constexpr long kPerThread = 1000;
+  std::barrier start(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      start.arrive_and_wait();
+      for (long i = 0; i < kPerThread; ++i)
+        ASSERT_TRUE(map.insert(t * kPerThread + i, i));
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(map.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  for (long k = 0; k < kThreads * kPerThread; ++k)
+    ASSERT_TRUE(map.contains(k)) << k;
+}
+
+TEST(HashMap, ConcurrentChurnConsistency) {
+  lf::extras::FRHashMap<long, long> map(64);
+  constexpr int kThreads = 4;
+  std::barrier start(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      lf::Xoshiro256 rng(60 + t);
+      start.arrive_and_wait();
+      for (int i = 0; i < 15000; ++i) {
+        const long k = static_cast<long>(rng.below(300));
+        switch (rng.below(3)) {
+          case 0: map.insert(k, k); break;
+          case 1: map.erase(k); break;
+          default: map.contains(k);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (long k = 0; k < 300; ++k)
+    EXPECT_EQ(map.contains(k), map.find(k).has_value());
+  EXPECT_LE(map.size(), 300u);
+}
+
+TEST(HashMap, ExactlyOneWinnerPerContestedKey) {
+  lf::extras::FRHashMap<long, long> map(16);
+  constexpr int kThreads = 4;
+  constexpr long kKeys = 200;
+  std::atomic<long> wins{0};
+  std::barrier start(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      start.arrive_and_wait();
+      long local = 0;
+      for (long k = 0; k < kKeys; ++k)
+        if (map.insert(k, k)) ++local;
+      wins.fetch_add(local);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(wins.load(), kKeys);
+  EXPECT_EQ(map.size(), static_cast<std::size_t>(kKeys));
+}
+
+}  // namespace

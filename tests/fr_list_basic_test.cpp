@@ -1,0 +1,212 @@
+// Sequential functional tests for FRList (paper Section 3 semantics).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lf/core/fr_list.h"
+#include "lf/reclaim/leaky.h"
+#include "lf/util/random.h"
+
+namespace {
+
+using IntList = lf::FRList<long, long>;
+
+TEST(FRListBasic, EmptyList) {
+  IntList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_FALSE(list.contains(1));
+  EXPECT_FALSE(list.find(1).has_value());
+  EXPECT_FALSE(list.erase(1));
+  EXPECT_TRUE(list.validate().ok);
+}
+
+TEST(FRListBasic, InsertFindErase) {
+  IntList list;
+  EXPECT_TRUE(list.insert(10, 100));
+  EXPECT_TRUE(list.contains(10));
+  ASSERT_TRUE(list.find(10).has_value());
+  EXPECT_EQ(*list.find(10), 100);
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_TRUE(list.erase(10));
+  EXPECT_FALSE(list.contains(10));
+  EXPECT_TRUE(list.empty());
+  EXPECT_TRUE(list.validate().ok);
+}
+
+TEST(FRListBasic, DuplicateInsertRejected) {
+  IntList list;
+  EXPECT_TRUE(list.insert(5, 1));
+  EXPECT_FALSE(list.insert(5, 2));
+  EXPECT_EQ(*list.find(5), 1);  // original value kept
+}
+
+TEST(FRListBasic, EraseAbsentKey) {
+  IntList list;
+  list.insert(1, 1);
+  EXPECT_FALSE(list.erase(2));
+  EXPECT_FALSE(list.erase(0));
+  EXPECT_TRUE(list.contains(1));
+}
+
+TEST(FRListBasic, ReinsertAfterErase) {
+  IntList list;
+  EXPECT_TRUE(list.insert(7, 70));
+  EXPECT_TRUE(list.erase(7));
+  EXPECT_TRUE(list.insert(7, 71));
+  EXPECT_EQ(*list.find(7), 71);
+}
+
+TEST(FRListBasic, KeysComeOutSorted) {
+  IntList list;
+  for (long k : {5L, 1L, 9L, 3L, 7L, 2L, 8L, 4L, 6L}) list.insert(k, k);
+  const auto keys = list.keys();
+  ASSERT_EQ(keys.size(), 9u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(keys.front(), 1);
+  EXPECT_EQ(keys.back(), 9);
+}
+
+TEST(FRListBasic, BoundaryKeys) {
+  IntList list;
+  EXPECT_TRUE(list.insert(std::numeric_limits<long>::min(), 1));
+  EXPECT_TRUE(list.insert(std::numeric_limits<long>::max(), 2));
+  EXPECT_TRUE(list.insert(0, 3));
+  EXPECT_TRUE(list.contains(std::numeric_limits<long>::min()));
+  EXPECT_TRUE(list.contains(std::numeric_limits<long>::max()));
+  EXPECT_TRUE(list.erase(std::numeric_limits<long>::min()));
+  EXPECT_TRUE(list.erase(std::numeric_limits<long>::max()));
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_TRUE(list.validate().ok);
+}
+
+TEST(FRListBasic, CustomComparatorDescending) {
+  lf::FRList<int, int, std::greater<int>> list;
+  for (int k : {1, 5, 3}) list.insert(k, k);
+  const auto keys = list.keys();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end(), std::greater<int>{}));
+  EXPECT_TRUE(list.contains(5));
+  EXPECT_TRUE(list.erase(3));
+  EXPECT_FALSE(list.contains(3));
+}
+
+TEST(FRListBasic, StringKeysAndValues) {
+  lf::FRList<std::string, std::string> list;
+  EXPECT_TRUE(list.insert("banana", "yellow"));
+  EXPECT_TRUE(list.insert("apple", "red"));
+  EXPECT_TRUE(list.insert("cherry", "dark"));
+  EXPECT_EQ(*list.find("apple"), "red");
+  EXPECT_EQ(list.keys(), (std::vector<std::string>{"apple", "banana",
+                                                   "cherry"}));
+  EXPECT_TRUE(list.erase("banana"));
+  EXPECT_FALSE(list.contains("banana"));
+  EXPECT_TRUE(list.validate().ok);
+}
+
+TEST(FRListBasic, ForEachVisitsAllPairs) {
+  IntList list;
+  for (long k = 0; k < 20; ++k) list.insert(k, k * 10);
+  std::map<long, long> seen;
+  list.for_each([&](long k, long v) { seen[k] = v; });
+  EXPECT_EQ(seen.size(), 20u);
+  for (const auto& [k, v] : seen) EXPECT_EQ(v, k * 10);
+}
+
+TEST(FRListBasic, LeakyReclaimerVariant) {
+  lf::FRList<long, long, std::less<long>, lf::reclaim::LeakyReclaimer> list;
+  for (long k = 0; k < 50; ++k) EXPECT_TRUE(list.insert(k, k));
+  for (long k = 0; k < 50; k += 2) EXPECT_TRUE(list.erase(k));
+  EXPECT_EQ(list.size(), 25u);
+  EXPECT_TRUE(list.validate().ok);
+}
+
+TEST(FRListBasic, DifferentialAgainstStdMap) {
+  IntList list;
+  std::map<long, long> model;
+  lf::Xoshiro256 rng(2024);
+  for (int i = 0; i < 20000; ++i) {
+    const long k = static_cast<long>(rng.below(200));
+    switch (rng.below(3)) {
+      case 0: {
+        const bool a = list.insert(k, k * 3);
+        const bool b = model.emplace(k, k * 3).second;
+        ASSERT_EQ(a, b) << "insert " << k << " at op " << i;
+        break;
+      }
+      case 1: {
+        const bool a = list.erase(k);
+        const bool b = model.erase(k) > 0;
+        ASSERT_EQ(a, b) << "erase " << k << " at op " << i;
+        break;
+      }
+      default: {
+        const auto a = list.find(k);
+        const auto b = model.find(k);
+        ASSERT_EQ(a.has_value(), b != model.end()) << "find " << k;
+        if (a.has_value()) { ASSERT_EQ(*a, b->second); }
+      }
+    }
+  }
+  EXPECT_EQ(list.size(), model.size());
+  const auto keys = list.keys();
+  std::vector<long> expect;
+  for (const auto& [k, v] : model) expect.push_back(k);
+  EXPECT_EQ(keys, expect);
+  EXPECT_TRUE(list.validate().ok);
+}
+
+TEST(FRListBasic, TwoPhaseInsertHooks) {
+  lf::FRList<long, long, std::less<long>, lf::reclaim::LeakyReclaimer> list;
+  list.insert(1, 1);
+  list.insert(3, 3);
+
+  decltype(list)::InsertCursor cur;
+  ASSERT_TRUE(list.insert_locate(2, 20, cur));
+  EXPECT_NE(cur.node, nullptr);
+  EXPECT_TRUE(list.insert_complete(cur));
+  EXPECT_TRUE(list.contains(2));
+  EXPECT_EQ(cur.node, nullptr);
+
+  // Duplicate detected at locate time: no allocation.
+  decltype(list)::InsertCursor dup;
+  EXPECT_FALSE(list.insert_locate(2, 99, dup));
+  EXPECT_EQ(dup.node, nullptr);
+}
+
+TEST(FRListBasic, InsertTryOnceSucceedsWithoutInterference) {
+  lf::FRList<long, long, std::less<long>, lf::reclaim::LeakyReclaimer> list;
+  list.insert(10, 10);
+  decltype(list)::InsertCursor cur;
+  ASSERT_TRUE(list.insert_locate(20, 200, cur));
+  EXPECT_EQ(list.insert_try_once(cur), decltype(list)::TryResult::kInserted);
+  EXPECT_TRUE(list.contains(20));
+}
+
+TEST(FRListBasic, SizeCountsOnlyCurrentKeys) {
+  IntList list;
+  for (long k = 0; k < 100; ++k) list.insert(k, k);
+  EXPECT_EQ(list.size(), 100u);
+  for (long k = 0; k < 100; k += 3) list.erase(k);
+  EXPECT_EQ(list.size(), 100u - 34u);
+}
+
+TEST(FRListBasic, ManySequentialOpsKeepInvariants) {
+  IntList list;
+  lf::Xoshiro256 rng(7);
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 500; ++i)
+      list.insert(static_cast<long>(rng.below(1000)), 0);
+    for (int i = 0; i < 500; ++i)
+      list.erase(static_cast<long>(rng.below(1000)));
+    const auto rep = list.validate();
+    ASSERT_TRUE(rep.ok) << rep.error;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+// White-box tests for FRSkipList: tower retirement accounting, per-level
+// structure after deletions, the three-step protocol at every level, and
+// the first() accessor the priority-queue adapter relies on.
+#include <gtest/gtest.h>
+
+#include "lf/core/fr_skiplist.h"
+#include "lf/instrument/counters.h"
+#include "lf/reclaim/epoch.h"
+
+namespace {
+
+using Skip = lf::FRSkipList<long, long>;
+
+TEST(FRSkipListWhitebox, EraseRemovesKeyFromEveryLevel) {
+  Skip s;
+  for (long k = 0; k < 300; ++k) s.insert(k, k);
+  ASSERT_TRUE(s.erase(150));
+  // Walk every level: no node with key 150 may remain linked.
+  for (int v = 1; v <= 23; ++v) {
+    for (auto* p = s.head(v)->succ.load().right;
+         p->kind != Skip::Node::Kind::kTail; p = p->succ.load().right) {
+      ASSERT_NE(p->key, 150) << "level " << v;
+    }
+  }
+}
+
+TEST(FRSkipListWhitebox, TowersAreRetiredWholeAndFreed) {
+  lf::reclaim::EpochDomain domain;
+  {
+    lf::FRSkipList<long, long> s{lf::reclaim::EpochReclaimer(domain)};
+    const auto before = lf::stats::aggregate();
+    for (long k = 0; k < 1000; ++k) s.insert(k, k);
+    for (long k = 0; k < 1000; ++k) ASSERT_TRUE(s.erase(k));
+    domain.drain();
+    const auto delta = lf::stats::aggregate() - before;
+    // Every node of every tower (>= one per key) must have been retired
+    // and, after drain, freed. retired == freed means no node leaked and
+    // none was double-retired (a double retire would crash in free).
+    EXPECT_GE(delta.node_retired, 1000u);
+    EXPECT_EQ(delta.node_retired, delta.node_freed);
+    EXPECT_EQ(domain.retired_count(), 0u);
+  }
+}
+
+TEST(FRSkipListWhitebox, DeletionRunsThreeStepsPerLevel) {
+  Skip s;
+  // Insert until we get a tower of height >= 2 and capture its key.
+  long tall_key = -1;
+  for (long k = 0; k < 200 && tall_key < 0; ++k) {
+    s.insert(k, k);
+    for (auto* p = s.head(2)->succ.load().right;
+         p->kind != Skip::Node::Kind::kTail; p = p->succ.load().right) {
+      if (p->key == k) tall_key = k;
+    }
+  }
+  ASSERT_GE(tall_key, 0) << "no tall tower in 200 geometric draws?!";
+
+  // Count the tower's height.
+  int height = 1;
+  for (int v = 2; v <= 23; ++v) {
+    bool found = false;
+    for (auto* p = s.head(v)->succ.load().right;
+         p->kind != Skip::Node::Kind::kTail; p = p->succ.load().right) {
+      if (p->key == tall_key) found = true;
+    }
+    if (found) height = v;
+  }
+
+  const auto before = lf::stats::aggregate();
+  ASSERT_TRUE(s.erase(tall_key));
+  const auto delta = lf::stats::aggregate() - before;
+  // One flag+mark+unlink triple per level of the tower.
+  EXPECT_EQ(delta.flag_cas, static_cast<std::uint64_t>(height));
+  EXPECT_EQ(delta.mark_cas, static_cast<std::uint64_t>(height));
+  EXPECT_EQ(delta.pdelete_cas, static_cast<std::uint64_t>(height));
+}
+
+TEST(FRSkipListWhitebox, FirstReturnsSmallestRegularKey) {
+  Skip s;
+  EXPECT_FALSE(s.first().has_value());
+  s.insert(50, 500);
+  s.insert(20, 200);
+  s.insert(80, 800);
+  auto front = s.first();
+  ASSERT_TRUE(front.has_value());
+  EXPECT_EQ(front->first, 20);
+  EXPECT_EQ(front->second, 200);
+  s.erase(20);
+  EXPECT_EQ(s.first()->first, 50);
+  s.erase(50);
+  s.erase(80);
+  EXPECT_FALSE(s.first().has_value());
+}
+
+TEST(FRSkipListWhitebox, ValidateCountsMatchCensus) {
+  Skip s;
+  for (long k = 0; k < 5000; ++k) s.insert(k * 3, k);
+  const auto rep = s.validate();
+  ASSERT_TRUE(rep.ok) << rep.error;
+  const auto census = s.census();
+  std::size_t nodes_from_census = 0;
+  for (const auto& [h, cnt] : census.height_counts)
+    nodes_from_census += static_cast<std::size_t>(h) * cnt;
+  EXPECT_EQ(rep.node_count, nodes_from_census);
+  EXPECT_EQ(census.towers, 5000u);
+}
+
+TEST(FRSkipListWhitebox, TopHintNeverExceedsTallestTower) {
+  Skip s;
+  for (long k = 0; k < 3000; ++k) s.insert(k, k);
+  const auto census = s.census();
+  int tallest = 0;
+  for (const auto& [h, cnt] : census.height_counts) tallest = h;
+  EXPECT_LE(s.top_level_hint(), tallest + 1);
+  EXPECT_GE(s.top_level_hint(), tallest);
+}
+
+TEST(FRSkipListWhitebox, RangeQueriesVisitExactInterval) {
+  Skip s;
+  for (long k = 0; k < 100; ++k) s.insert(k * 2, k);  // evens 0..198
+  std::vector<long> seen;
+  s.for_each_range(10, 21, [&](long k, long) { seen.push_back(k); });
+  EXPECT_EQ(seen, (std::vector<long>{10, 12, 14, 16, 18, 20}));
+  EXPECT_EQ(s.count_range(10, 21), 6u);
+  // Half-open: hi excluded, lo included when present.
+  EXPECT_EQ(s.count_range(10, 20), 5u);
+  EXPECT_EQ(s.count_range(11, 20), 4u);  // lo absent
+  // Degenerate and out-of-range intervals.
+  EXPECT_EQ(s.count_range(10, 10), 0u);
+  EXPECT_EQ(s.count_range(500, 600), 0u);
+  EXPECT_EQ(s.count_range(-10, 0), 0u);
+  EXPECT_EQ(s.count_range(-10, 1), 1u);  // just key 0
+  EXPECT_EQ(s.count_range(0, 1000), 100u);  // everything
+}
+
+TEST(FRSkipListWhitebox, RangeSkipsDeletedKeys) {
+  Skip s;
+  for (long k = 0; k < 50; ++k) s.insert(k, k);
+  for (long k = 10; k < 20; ++k) s.erase(k);
+  EXPECT_EQ(s.count_range(5, 25), 10u);  // 5..9 and 20..24
+  std::vector<long> seen;
+  s.for_each_range(8, 22, [&](long k, long) { seen.push_back(k); });
+  EXPECT_EQ(seen, (std::vector<long>{8, 9, 20, 21}));
+}
+
+TEST(FRSkipListWhitebox, SearchHasNoSideEffectsOnCleanList) {
+  Skip s;
+  for (long k = 0; k < 100; ++k) s.insert(k, k);
+  const auto before = lf::stats::aggregate();
+  for (long k = 0; k < 100; ++k) s.contains(k);
+  const auto delta = lf::stats::aggregate() - before;
+  EXPECT_EQ(delta.cas_attempt, 0u);  // nothing to help or flag
+  EXPECT_EQ(delta.help_flagged, 0u);
+}
+
+}  // namespace

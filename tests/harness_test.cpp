@@ -1,0 +1,215 @@
+// Tests for the instrumentation and workload harness: counters, contention
+// meter, chain histogram, key/op generators, the run driver, and the table
+// printer.
+#include <gtest/gtest.h>
+
+#include <barrier>
+#include <thread>
+#include <vector>
+
+#include "lf/core/fr_list.h"
+#include "lf/harness/table.h"
+#include "lf/instrument/contention.h"
+#include "lf/instrument/counters.h"
+#include "lf/workload/keygen.h"
+#include "lf/workload/opmix.h"
+#include "lf/workload/runner.h"
+
+namespace {
+
+TEST(StepCounters, ThreadLocalIncrementsAggregate) {
+  const auto before = lf::stats::aggregate();
+  lf::stats::tls().backlink_traversal.inc(5);
+  lf::stats::tls().cas_attempt.inc();
+  const auto delta = lf::stats::aggregate() - before;
+  EXPECT_EQ(delta.backlink_traversal, 5u);
+  EXPECT_EQ(delta.cas_attempt, 1u);
+}
+
+TEST(StepCounters, ExitedThreadCountsAreRetained) {
+  const auto before = lf::stats::aggregate();
+  std::thread t([] { lf::stats::tls().restart.inc(7); });
+  t.join();
+  const auto delta = lf::stats::aggregate() - before;
+  EXPECT_EQ(delta.restart, 7u);
+}
+
+TEST(StepCounters, MultiThreadSumIsExact) {
+  const auto before = lf::stats::aggregate();
+  constexpr int kThreads = 4;
+  std::vector<std::thread> ts;
+  for (int i = 0; i < kThreads; ++i) {
+    ts.emplace_back([] {
+      for (int j = 0; j < 1000; ++j) lf::stats::tls().next_update.inc();
+    });
+  }
+  for (auto& t : ts) t.join();
+  const auto delta = lf::stats::aggregate() - before;
+  EXPECT_EQ(delta.next_update, 4000u);
+}
+
+TEST(StepCounters, SnapshotArithmetic) {
+  lf::stats::Snapshot a, b;
+  a.cas_attempt = 10;
+  a.cas_success = 6;
+  a.backlink_traversal = 2;
+  a.next_update = 3;
+  a.curr_update = 4;
+  a.op_insert = 2;
+  a.op_search = 2;
+  EXPECT_EQ(a.cas_failures(), 4u);
+  EXPECT_EQ(a.essential_steps(), 10u + 2 + 3 + 4);
+  EXPECT_EQ(a.total_ops(), 4u);
+  EXPECT_DOUBLE_EQ(a.steps_per_op(), 19.0 / 4.0);
+  b.cas_attempt = 4;
+  const auto d = a - b;
+  EXPECT_EQ(d.cas_attempt, 6u);
+  b += a;
+  EXPECT_EQ(b.cas_attempt, 14u);
+}
+
+TEST(ChainHistogram, RecordsAndResets) {
+  lf::stats::reset_chain_hist();
+  lf::stats::chain_hist_tls().record(3);
+  lf::stats::chain_hist_tls().record(1);
+  auto agg = lf::stats::aggregate_chain_hist();
+  EXPECT_EQ(agg.count(), 2u);
+  EXPECT_EQ(agg.max(), 3u);
+  lf::stats::reset_chain_hist();
+  agg = lf::stats::aggregate_chain_hist();
+  EXPECT_EQ(agg.count(), 0u);
+}
+
+TEST(ChainHistogram, MergesAcrossExitedThreads) {
+  lf::stats::reset_chain_hist();
+  std::thread t([] { lf::stats::chain_hist_tls().record(9); });
+  t.join();
+  const auto agg = lf::stats::aggregate_chain_hist();
+  EXPECT_EQ(agg.count(), 1u);
+  EXPECT_EQ(agg.max(), 9u);
+}
+
+TEST(ContentionMeter, CountsOverlappingOperations) {
+  lf::stats::ContentionMeter meter;
+  {
+    lf::stats::ContentionMeter::OperationScope a(meter);
+    EXPECT_EQ(meter.inflight_now(), 1);
+    {
+      lf::stats::ContentionMeter::OperationScope b(meter);
+      EXPECT_EQ(meter.inflight_now(), 2);
+    }
+  }
+  EXPECT_EQ(meter.inflight_now(), 0);
+  EXPECT_EQ(meter.operations(), 2u);
+  // Inner op observed 2 in-flight; outer observed max(1 at start, 1 at end)
+  // = 1 (the inner one finished first). Average = 1.5.
+  EXPECT_DOUBLE_EQ(meter.average(), 1.5);
+}
+
+TEST(ContentionMeter, ResetZeroes) {
+  lf::stats::ContentionMeter meter;
+  { lf::stats::ContentionMeter::OperationScope a(meter); }
+  meter.reset();
+  EXPECT_EQ(meter.operations(), 0u);
+  EXPECT_DOUBLE_EQ(meter.average(), 0.0);
+}
+
+TEST(KeyGen, UniformInRangeDeterministic) {
+  lf::workload::KeyGen a(lf::workload::KeyDist::kUniform, 100, 9);
+  lf::workload::KeyGen b(lf::workload::KeyDist::kUniform, 100, 9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto k = a.next();
+    EXPECT_LT(k, 100u);
+    EXPECT_EQ(k, b.next());
+  }
+}
+
+TEST(KeyGen, ZipfSkewsTowardLowRanks) {
+  lf::workload::KeyGen g(lf::workload::KeyDist::kZipfian, 1000, 3, 0.99);
+  int low = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (g.next() < 10) ++low;
+  EXPECT_GT(low, 2000);  // top-10 ranks draw a large share under theta=.99
+}
+
+TEST(OpMix, RespectsPercentages) {
+  lf::workload::OpMix mix{30, 20};
+  lf::Xoshiro256 rng(4);
+  int ins = 0, del = 0, sea = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    switch (mix.pick(rng)) {
+      case lf::workload::Op::kInsert: ++ins; break;
+      case lf::workload::Op::kErase: ++del; break;
+      case lf::workload::Op::kSearch: ++sea; break;
+    }
+  }
+  EXPECT_NEAR(ins / double(kN), 0.30, 0.01);
+  EXPECT_NEAR(del / double(kN), 0.20, 0.01);
+  EXPECT_NEAR(sea / double(kN), 0.50, 0.01);
+}
+
+TEST(Runner, PrefillInsertsExactCount) {
+  lf::FRList<long, long> list;
+  lf::workload::RunConfig cfg;
+  cfg.prefill = 333;
+  cfg.key_space = 1024;
+  lf::workload::prefill(list, cfg);
+  EXPECT_EQ(list.size(), 333u);
+}
+
+TEST(Runner, RunsExactOpCountAndReportsSteps) {
+  lf::FRList<long, long> list;
+  lf::workload::RunConfig cfg;
+  cfg.threads = 3;
+  cfg.ops_per_thread = 5000;
+  cfg.key_space = 256;
+  cfg.prefill = 128;
+  lf::workload::prefill(list, cfg);
+  const auto res = lf::workload::run_workload(list, cfg);
+  EXPECT_EQ(res.total_ops, 3u * 5000u);
+  EXPECT_EQ(res.steps.total_ops(), res.total_ops);
+  EXPECT_GT(res.steps.essential_steps(), res.total_ops);  // > 1 step/op
+  EXPECT_GT(res.steps_per_op(), 1.0);
+  EXPECT_GT(res.seconds, 0.0);
+  EXPECT_GE(res.avg_contention, 1.0);  // every op sees at least itself
+  EXPECT_TRUE(list.validate().ok);
+}
+
+TEST(Runner, SearchOnlyWorkloadDoesNoCas) {
+  lf::FRList<long, long> list;
+  lf::workload::RunConfig cfg;
+  cfg.threads = 2;
+  cfg.ops_per_thread = 2000;
+  cfg.mix = {0, 0};  // search-only
+  cfg.prefill = 100;
+  cfg.key_space = 200;
+  lf::workload::prefill(list, cfg);
+  const auto res = lf::workload::run_workload(list, cfg);
+  EXPECT_EQ(res.steps.cas_attempt, 0u);
+  EXPECT_EQ(res.steps.op_search, res.total_ops);
+}
+
+TEST(Table, AlignsAndFormats) {
+  lf::harness::Table t({"impl", "n", "steps/op"});
+  t.add_row({"FRList", "1024", lf::harness::Table::num(12.345, 2)});
+  t.add_row({"Harris", "1024", lf::harness::Table::num(99.9, 2)});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("impl"), std::string::npos);
+  EXPECT_NE(s.find("12.35"), std::string::npos);  // rounded to 2 decimals
+  EXPECT_NE(s.find("99.90"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, RatioHelper) {
+  EXPECT_EQ(lf::harness::Table::ratio(10, 4, 1), "2.5x");
+  EXPECT_EQ(lf::harness::Table::ratio(1, 0), "-");
+}
+
+TEST(Table, ShortRowsArePadded) {
+  lf::harness::Table t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  EXPECT_NO_THROW(t.to_string());
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// Schedule fuzzing: concurrent churn with randomly injected yields.
+//
+// On a single-core host, threads are preempted only at timeslice
+// boundaries, so most tests exercise few interleavings. Injecting
+// std::this_thread::yield() at random points between operations (and the
+// OS moving threads at those points) multiplies the schedules covered —
+// crucially including switches in the middle of multi-C&S sequences left
+// half-done, which is exactly where the paper's helping machinery must
+// take over. Every structure must hold its invariants and exact-count
+// semantics under any such schedule.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <thread>
+#include <vector>
+
+#include "lf/core/fr_list.h"
+#include "lf/core/fr_list_noflag.h"
+#include "lf/core/fr_list_rc.h"
+#include "lf/core/fr_skiplist.h"
+#include "lf/util/random.h"
+
+namespace {
+
+constexpr int kThreads = 4;
+
+// Churn with yield injection; returns the net number of keys that should
+// remain (tracked exactly via per-op results).
+template <typename Set>
+void fuzz_churn(Set& set, std::uint64_t seed, int ops_per_thread,
+                std::uint64_t key_space, std::atomic<long>& net) {
+  std::barrier start(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      lf::Xoshiro256 rng(seed + static_cast<std::uint64_t>(t) * 131);
+      long local_net = 0;
+      start.arrive_and_wait();
+      for (int i = 0; i < ops_per_thread; ++i) {
+        if (rng.below(4) == 0) std::this_thread::yield();  // fuzz point
+        const long k = static_cast<long>(rng.below(key_space));
+        switch (rng.below(3)) {
+          case 0:
+            if (set.insert(k, k)) ++local_net;
+            break;
+          case 1:
+            if (set.erase(k)) --local_net;
+            break;
+          default:
+            set.contains(k);
+        }
+        if (rng.below(8) == 0) std::this_thread::yield();  // fuzz point
+      }
+      net.fetch_add(local_net);
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+TEST(ScheduleFuzz, FRListExactCountsUnderYields) {
+  for (std::uint64_t seed : {11u, 222u, 3333u}) {
+    lf::FRList<long, long> list;
+    std::atomic<long> net{0};
+    fuzz_churn(list, seed, 8000, 64, net);
+    // Exact-count semantics: successful inserts minus successful erases
+    // must equal the final size — every win was real, every loss was real.
+    EXPECT_EQ(list.size(), static_cast<std::size_t>(net.load()))
+        << "seed " << seed;
+    const auto rep = list.validate();
+    EXPECT_TRUE(rep.ok) << "seed " << seed << ": " << rep.error;
+  }
+}
+
+TEST(ScheduleFuzz, FRSkipListExactCountsUnderYields) {
+  for (std::uint64_t seed : {44u, 555u, 6666u}) {
+    lf::FRSkipList<long, long> s;
+    std::atomic<long> net{0};
+    fuzz_churn(s, seed, 6000, 64, net);
+    EXPECT_EQ(s.size(), static_cast<std::size_t>(net.load()))
+        << "seed " << seed;
+    const auto rep = s.validate();
+    EXPECT_TRUE(rep.ok) << "seed " << seed << ": " << rep.error;
+  }
+}
+
+TEST(ScheduleFuzz, FRListNoFlagExactCountsUnderYields) {
+  for (std::uint64_t seed : {77u, 888u}) {
+    lf::FRListNoFlag<long, long> list;
+    std::atomic<long> net{0};
+    fuzz_churn(list, seed, 8000, 64, net);
+    EXPECT_EQ(list.size(), static_cast<std::size_t>(net.load()))
+        << "seed " << seed;
+  }
+}
+
+TEST(ScheduleFuzz, FRListRCExactCountsAndAccountingUnderYields) {
+  for (std::uint64_t seed : {99u, 1010u}) {
+    lf::FRListRC<long, long> list;
+    std::atomic<long> net{0};
+    fuzz_churn(list, seed, 6000, 64, net);
+    EXPECT_EQ(list.size(), static_cast<std::size_t>(net.load()))
+        << "seed " << seed;
+    EXPECT_TRUE(list.validate_counts()) << "seed " << seed;
+    EXPECT_EQ(list.arena_count(), list.free_count() + list.size() + 2)
+        << "seed " << seed;
+  }
+}
+
+TEST(ScheduleFuzz, HotTwoKeyDuel) {
+  // The tightest possible conflict: four threads fight over TWO adjacent
+  // keys with constant insert/erase, maximizing flag/mark/backlink
+  // interactions on the same pair of nodes.
+  lf::FRList<long, long> list;
+  std::atomic<long> net{0};
+  fuzz_churn(list, 31337, 12000, 2, net);
+  EXPECT_EQ(list.size(), static_cast<std::size_t>(net.load()));
+  EXPECT_TRUE(list.validate().ok);
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+// Unit tests for the utility substrate: PRNGs, histogram, alignment, timer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "lf/util/align.h"
+#include "lf/util/histogram.h"
+#include "lf/util/random.h"
+#include "lf/util/timer.h"
+
+namespace {
+
+TEST(Splitmix64, DeterministicAndDistinct) {
+  std::uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(lf::splitmix64(s1), lf::splitmix64(s2));
+  std::uint64_t s3 = 42;
+  const auto a = lf::splitmix64(s3);
+  const auto b = lf::splitmix64(s3);
+  EXPECT_NE(a, b);  // state advances
+}
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  lf::Xoshiro256 a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+  bool any_diff = false;
+  lf::Xoshiro256 a2(123);
+  for (int i = 0; i < 100; ++i) any_diff |= (a2() != c());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Xoshiro256, BelowStaysInRange) {
+  lf::Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Xoshiro256, BelowCoversRange) {
+  lf::Xoshiro256 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);  // all residues hit
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  lf::Xoshiro256 rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, TowerHeightIsGeometricHalf) {
+  lf::Xoshiro256 rng(13);
+  constexpr int kMax = 20;
+  constexpr int kDraws = 200000;
+  std::vector<int> counts(kMax + 1, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    const int h = rng.tower_height(kMax);
+    ASSERT_GE(h, 1);
+    ASSERT_LE(h, kMax);
+    ++counts[h];
+  }
+  // P(h = k) = 2^-k for k < kMax; check the first few within 5% relative.
+  for (int k = 1; k <= 6; ++k) {
+    const double expected = kDraws * std::pow(0.5, k);
+    EXPECT_NEAR(counts[k], expected, expected * 0.05) << "height " << k;
+  }
+}
+
+TEST(Xoshiro256, TowerHeightRespectsCap) {
+  lf::Xoshiro256 rng(17);
+  for (int i = 0; i < 10000; ++i) EXPECT_EQ(rng.tower_height(1), 1);
+  for (int i = 0; i < 10000; ++i) EXPECT_LE(rng.tower_height(3), 3);
+}
+
+TEST(Zipf, InRangeAndSkewed) {
+  lf::ZipfGenerator zipf(1000, 0.99, 5);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const auto k = zipf();
+    ASSERT_LT(k, 1000u);
+    ++counts[k];
+  }
+  // Rank-0 must dominate: more draws than the entire tail half combined /4.
+  int tail = 0;
+  for (int i = 500; i < 1000; ++i) tail += counts[i];
+  EXPECT_GT(counts[0], tail / 4);
+  EXPECT_GT(counts[0], counts[100]);
+}
+
+TEST(Histogram, ExactSmallValues) {
+  lf::Histogram h;
+  for (std::uint64_t v : {0ULL, 1ULL, 1ULL, 2ULL, 63ULL}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.max(), 63u);
+  EXPECT_DOUBLE_EQ(h.mean(), (0.0 + 1 + 1 + 2 + 63) / 5);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(63), 1u);
+}
+
+TEST(Histogram, QuantilesOrdered) {
+  lf::Histogram h;
+  for (std::uint64_t v = 0; v < 100; ++v) h.record(v);
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.9));
+  EXPECT_LE(h.quantile(0.9), h.quantile(0.99));
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  // Median of 0..99 should land near 50 (exact buckets below 64).
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.5)), 50.0, 2.0);
+}
+
+TEST(Histogram, PowerBucketsForLargeValues) {
+  lf::Histogram h;
+  h.record(64);
+  h.record(100);
+  h.record(1 << 20);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.max(), static_cast<std::uint64_t>(1 << 20));
+  EXPECT_EQ(h.count_at_least(64), 3u);
+  EXPECT_EQ(h.count_at_least(128), 1u);
+  // 64 and 100 share the [64,127] bucket.
+  EXPECT_EQ(h.bucket_count(lf::Histogram::bucket_of(64)), 2u);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  lf::Histogram a, b;
+  a.record(5);
+  a.record(7);
+  b.record(7);
+  b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.max(), 1000u);
+  EXPECT_EQ(a.bucket_count(7), 2u);
+}
+
+TEST(Histogram, CountAtLeast) {
+  lf::Histogram h;
+  for (std::uint64_t v = 0; v < 10; ++v) h.record(v);
+  EXPECT_EQ(h.count_at_least(0), 10u);
+  EXPECT_EQ(h.count_at_least(5), 5u);
+  EXPECT_EQ(h.count_at_least(10), 0u);
+}
+
+TEST(CacheAligned, NoFalseSharing) {
+  static_assert(sizeof(lf::CacheAligned<int>) >= lf::kCacheLineSize);
+  static_assert(alignof(lf::CacheAligned<int>) == lf::kCacheLineSize);
+  lf::CacheAligned<int> arr[2];
+  const auto a = reinterpret_cast<std::uintptr_t>(&arr[0].value);
+  const auto b = reinterpret_cast<std::uintptr_t>(&arr[1].value);
+  EXPECT_GE(b - a, lf::kCacheLineSize);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  lf::Stopwatch sw;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GT(sw.elapsed_nanos(), 0u);
+  EXPECT_GE(sw.elapsed_seconds(), 0.0);
+  const double t1 = sw.elapsed_seconds();
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GE(sw.elapsed_seconds(), t1);
+}
+
+}  // namespace
