@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_backlink_ablation.dir/bench_backlink_ablation.cpp.o"
+  "CMakeFiles/bench_backlink_ablation.dir/bench_backlink_ablation.cpp.o.d"
+  "bench_backlink_ablation"
+  "bench_backlink_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_backlink_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

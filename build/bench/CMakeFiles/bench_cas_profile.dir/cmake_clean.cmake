@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cas_profile.dir/bench_cas_profile.cpp.o"
+  "CMakeFiles/bench_cas_profile.dir/bench_cas_profile.cpp.o.d"
+  "bench_cas_profile"
+  "bench_cas_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cas_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

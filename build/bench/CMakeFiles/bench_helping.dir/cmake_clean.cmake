@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_helping.dir/bench_helping.cpp.o"
+  "CMakeFiles/bench_helping.dir/bench_helping.cpp.o.d"
+  "bench_helping"
+  "bench_helping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_helping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_list_throughput.dir/bench_list_throughput.cpp.o"
+  "CMakeFiles/bench_list_throughput.dir/bench_list_throughput.cpp.o.d"
+  "bench_list_throughput"
+  "bench_list_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_list_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

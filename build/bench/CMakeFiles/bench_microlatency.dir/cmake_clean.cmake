@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_microlatency.dir/bench_microlatency.cpp.o"
+  "CMakeFiles/bench_microlatency.dir/bench_microlatency.cpp.o.d"
+  "bench_microlatency"
+  "bench_microlatency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_microlatency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

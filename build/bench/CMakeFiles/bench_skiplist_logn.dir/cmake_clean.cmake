@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_skiplist_logn.dir/bench_skiplist_logn.cpp.o"
+  "CMakeFiles/bench_skiplist_logn.dir/bench_skiplist_logn.cpp.o.d"
+  "bench_skiplist_logn"
+  "bench_skiplist_logn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_skiplist_logn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

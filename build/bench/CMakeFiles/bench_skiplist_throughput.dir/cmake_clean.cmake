@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_skiplist_throughput.dir/bench_skiplist_throughput.cpp.o"
+  "CMakeFiles/bench_skiplist_throughput.dir/bench_skiplist_throughput.cpp.o.d"
+  "bench_skiplist_throughput"
+  "bench_skiplist_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_skiplist_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

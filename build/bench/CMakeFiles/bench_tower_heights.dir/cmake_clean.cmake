@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tower_heights.dir/bench_tower_heights.cpp.o"
+  "CMakeFiles/bench_tower_heights.dir/bench_tower_heights.cpp.o.d"
+  "bench_tower_heights"
+  "bench_tower_heights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tower_heights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_memtable.dir/kv_memtable.cpp.o"
+  "CMakeFiles/kv_memtable.dir/kv_memtable.cpp.o.d"
+  "kv_memtable"
+  "kv_memtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_memtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

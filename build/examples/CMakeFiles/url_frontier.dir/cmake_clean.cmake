@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/url_frontier.dir/url_frontier.cpp.o"
+  "CMakeFiles/url_frontier.dir/url_frontier.cpp.o.d"
+  "url_frontier"
+  "url_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/url_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lf/chk/linearizability.cpp" "src/CMakeFiles/lf.dir/lf/chk/linearizability.cpp.o" "gcc" "src/CMakeFiles/lf.dir/lf/chk/linearizability.cpp.o.d"
+  "/root/repo/src/lf/harness/bench_env.cpp" "src/CMakeFiles/lf.dir/lf/harness/bench_env.cpp.o" "gcc" "src/CMakeFiles/lf.dir/lf/harness/bench_env.cpp.o.d"
+  "/root/repo/src/lf/harness/table.cpp" "src/CMakeFiles/lf.dir/lf/harness/table.cpp.o" "gcc" "src/CMakeFiles/lf.dir/lf/harness/table.cpp.o.d"
+  "/root/repo/src/lf/instrument/contention.cpp" "src/CMakeFiles/lf.dir/lf/instrument/contention.cpp.o" "gcc" "src/CMakeFiles/lf.dir/lf/instrument/contention.cpp.o.d"
+  "/root/repo/src/lf/instrument/counters.cpp" "src/CMakeFiles/lf.dir/lf/instrument/counters.cpp.o" "gcc" "src/CMakeFiles/lf.dir/lf/instrument/counters.cpp.o.d"
+  "/root/repo/src/lf/reclaim/epoch.cpp" "src/CMakeFiles/lf.dir/lf/reclaim/epoch.cpp.o" "gcc" "src/CMakeFiles/lf.dir/lf/reclaim/epoch.cpp.o.d"
+  "/root/repo/src/lf/reclaim/hazard.cpp" "src/CMakeFiles/lf.dir/lf/reclaim/hazard.cpp.o" "gcc" "src/CMakeFiles/lf.dir/lf/reclaim/hazard.cpp.o.d"
+  "/root/repo/src/lf/workload/adversary.cpp" "src/CMakeFiles/lf.dir/lf/workload/adversary.cpp.o" "gcc" "src/CMakeFiles/lf.dir/lf/workload/adversary.cpp.o.d"
+  "/root/repo/src/lf/workload/runner.cpp" "src/CMakeFiles/lf.dir/lf/workload/runner.cpp.o" "gcc" "src/CMakeFiles/lf.dir/lf/workload/runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lf.dir/lf/chk/linearizability.cpp.o"
+  "CMakeFiles/lf.dir/lf/chk/linearizability.cpp.o.d"
+  "CMakeFiles/lf.dir/lf/harness/bench_env.cpp.o"
+  "CMakeFiles/lf.dir/lf/harness/bench_env.cpp.o.d"
+  "CMakeFiles/lf.dir/lf/harness/table.cpp.o"
+  "CMakeFiles/lf.dir/lf/harness/table.cpp.o.d"
+  "CMakeFiles/lf.dir/lf/instrument/contention.cpp.o"
+  "CMakeFiles/lf.dir/lf/instrument/contention.cpp.o.d"
+  "CMakeFiles/lf.dir/lf/instrument/counters.cpp.o"
+  "CMakeFiles/lf.dir/lf/instrument/counters.cpp.o.d"
+  "CMakeFiles/lf.dir/lf/reclaim/epoch.cpp.o"
+  "CMakeFiles/lf.dir/lf/reclaim/epoch.cpp.o.d"
+  "CMakeFiles/lf.dir/lf/reclaim/hazard.cpp.o"
+  "CMakeFiles/lf.dir/lf/reclaim/hazard.cpp.o.d"
+  "CMakeFiles/lf.dir/lf/workload/adversary.cpp.o"
+  "CMakeFiles/lf.dir/lf/workload/adversary.cpp.o.d"
+  "CMakeFiles/lf.dir/lf/workload/runner.cpp.o"
+  "CMakeFiles/lf.dir/lf/workload/runner.cpp.o.d"
+  "liblf.a"
+  "liblf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

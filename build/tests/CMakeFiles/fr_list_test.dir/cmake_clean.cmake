@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fr_list_test.dir/fr_list_basic_test.cpp.o"
+  "CMakeFiles/fr_list_test.dir/fr_list_basic_test.cpp.o.d"
+  "CMakeFiles/fr_list_test.dir/fr_list_concurrent_test.cpp.o"
+  "CMakeFiles/fr_list_test.dir/fr_list_concurrent_test.cpp.o.d"
+  "CMakeFiles/fr_list_test.dir/fr_list_helping_test.cpp.o"
+  "CMakeFiles/fr_list_test.dir/fr_list_helping_test.cpp.o.d"
+  "CMakeFiles/fr_list_test.dir/fr_list_rc_test.cpp.o"
+  "CMakeFiles/fr_list_test.dir/fr_list_rc_test.cpp.o.d"
+  "CMakeFiles/fr_list_test.dir/fr_list_whitebox_test.cpp.o"
+  "CMakeFiles/fr_list_test.dir/fr_list_whitebox_test.cpp.o.d"
+  "fr_list_test"
+  "fr_list_test.pdb"
+  "fr_list_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fr_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

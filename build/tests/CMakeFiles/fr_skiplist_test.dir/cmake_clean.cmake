@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fr_skiplist_test.dir/fr_skiplist_basic_test.cpp.o"
+  "CMakeFiles/fr_skiplist_test.dir/fr_skiplist_basic_test.cpp.o.d"
+  "CMakeFiles/fr_skiplist_test.dir/fr_skiplist_concurrent_test.cpp.o"
+  "CMakeFiles/fr_skiplist_test.dir/fr_skiplist_concurrent_test.cpp.o.d"
+  "CMakeFiles/fr_skiplist_test.dir/fr_skiplist_rc_test.cpp.o"
+  "CMakeFiles/fr_skiplist_test.dir/fr_skiplist_rc_test.cpp.o.d"
+  "CMakeFiles/fr_skiplist_test.dir/fr_skiplist_whitebox_test.cpp.o"
+  "CMakeFiles/fr_skiplist_test.dir/fr_skiplist_whitebox_test.cpp.o.d"
+  "fr_skiplist_test"
+  "fr_skiplist_test.pdb"
+  "fr_skiplist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fr_skiplist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/settest_test.dir/set_property_test.cpp.o"
+  "CMakeFiles/settest_test.dir/set_property_test.cpp.o.d"
+  "CMakeFiles/settest_test.dir/set_typed_test.cpp.o"
+  "CMakeFiles/settest_test.dir/set_typed_test.cpp.o.d"
+  "settest_test"
+  "settest_test.pdb"
+  "settest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/settest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

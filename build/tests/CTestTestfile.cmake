@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/reclaim_test[1]_include.cmake")
+include("/root/repo/build/tests/fr_list_test[1]_include.cmake")
+include("/root/repo/build/tests/fr_skiplist_test[1]_include.cmake")
+include("/root/repo/build/tests/extras_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/settest_test[1]_include.cmake")
+include("/root/repo/build/tests/linearizability_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/schedule_fuzz_test[1]_include.cmake")
