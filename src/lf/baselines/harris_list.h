@@ -78,27 +78,33 @@ class HarrisList {
 
   bool insert(const Key& k, T value) {
     [[maybe_unused]] auto guard = reclaimer_.guard();
-    Node* node = nullptr;
-    bool inserted = false;
+    Node* left;
+    Node* right;
+    std::tie(left, right) = search(k);
+    if (node_eq(right, k)) {
+      // Duplicate detected before allocating: this path costs no
+      // allocator traffic at all.
+      stats::tls().op_insert.inc();
+      return false;
+    }
+    Node* node = new Node(Node::Kind::kInterior, k, std::move(value));
     for (;;) {
-      auto [left, right] = search(k);
-      if (node_eq(right, k)) break;  // duplicate
-      if (node == nullptr)
-        node = new Node(Node::Kind::kInterior, k, std::move(value));
       node->succ.store_unsynchronized(View{right, false, false});
       const View result =
           left->succ.cas(View{right, false, false}, View{node, false, false});
       if (result == View{right, false, false}) {
         stats::tls().insert_cas.inc();
-        node = nullptr;
-        inserted = true;
-        break;
+        stats::tls().op_insert.inc();
+        return true;
       }
       stats::tls().restart.inc();  // Harris: restart from the head
+      std::tie(left, right) = search(k);
+      if (node_eq(right, k)) {
+        delete node;  // never published; lost to a mid-retry duplicate
+        stats::tls().op_insert.inc();
+        return false;
+      }
     }
-    delete node;  // allocated but lost to a duplicate appearing mid-retry
-    stats::tls().op_insert.inc();
-    return inserted;
   }
 
   bool erase(const Key& k) {

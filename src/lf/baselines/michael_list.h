@@ -81,27 +81,33 @@ class MichaelList {
 
   bool insert(const Key& k, T value) {
     [[maybe_unused]] auto guard = reclaimer_.guard();
-    Node* node = nullptr;
-    bool inserted = false;
+    Node* prev;
+    Node* curr;
+    bool found;
+    std::tie(prev, curr, found) = search(k);
+    if (found) {
+      // Duplicate detected before allocating: zero allocator traffic.
+      stats::tls().op_insert.inc();
+      return false;
+    }
+    Node* node = new Node(Node::Kind::kInterior, k, std::move(value));
     for (;;) {
-      auto [prev, curr, found] = search(k);
-      if (found) break;
-      if (node == nullptr)
-        node = new Node(Node::Kind::kInterior, k, std::move(value));
       node->succ.store_unsynchronized(View{curr, false, false});
       const View result =
           prev->succ.cas(View{curr, false, false}, View{node, false, false});
       if (result == View{curr, false, false}) {
         stats::tls().insert_cas.inc();
-        node = nullptr;
-        inserted = true;
-        break;
+        stats::tls().op_insert.inc();
+        return true;
       }
       stats::tls().restart.inc();
+      std::tie(prev, curr, found) = search(k);
+      if (found) {
+        delete node;  // never published; lost to a mid-retry duplicate
+        stats::tls().op_insert.inc();
+        return false;
+      }
     }
-    delete node;
-    stats::tls().op_insert.inc();
-    return inserted;
   }
 
   bool erase(const Key& k) {
@@ -269,28 +275,36 @@ class MichaelListHP {
 
   bool insert(const Key& k, T value) {
     auto& hp = domain_.slots();
-    Node* node = nullptr;
-    bool inserted = false;
+    Node* prev;
+    Node* curr;
+    bool found;
+    std::tie(prev, curr, found) = search(k, hp);
+    if (found) {
+      // Duplicate detected before allocating: zero allocator traffic.
+      hp.clear_all();
+      stats::tls().op_insert.inc();
+      return false;
+    }
+    Node* node = new Node(Node::Kind::kInterior, k, std::move(value));
     for (;;) {
-      auto [prev, curr, found] = search(k, hp);
-      if (found) break;
-      if (node == nullptr)
-        node = new Node(Node::Kind::kInterior, k, std::move(value));
       node->succ.store_unsynchronized(View{curr, false, false});
       const View result =
           prev->succ.cas(View{curr, false, false}, View{node, false, false});
       if (result == View{curr, false, false}) {
         stats::tls().insert_cas.inc();
-        node = nullptr;
-        inserted = true;
-        break;
+        hp.clear_all();
+        stats::tls().op_insert.inc();
+        return true;
       }
       stats::tls().restart.inc();
+      std::tie(prev, curr, found) = search(k, hp);
+      if (found) {
+        delete node;  // never published; lost to a mid-retry duplicate
+        hp.clear_all();
+        stats::tls().op_insert.inc();
+        return false;
+      }
     }
-    delete node;
-    hp.clear_all();
-    stats::tls().op_insert.inc();
-    return inserted;
   }
 
   bool erase(const Key& k) {

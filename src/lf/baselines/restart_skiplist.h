@@ -93,17 +93,13 @@ class RestartSkipList {
     auto& c = stats::tls();
     Node* preds[MaxLevel];
     Node* succs[MaxLevel];
+    if (find(k, preds, succs)) {
+      stats::tls().op_insert.inc();
+      return false;  // duplicate detected before allocating: zero allocs
+    }
     const int h = tls_rng().tower_height(MaxLevel);
-    Node* node = nullptr;
+    Node* node = new Node(Node::Kind::kInterior, h, k, std::move(value));
     for (;;) {
-      if (find(k, preds, succs)) {
-        stats::tls().op_insert.inc();
-        return false;  // duplicate; any allocated node stays in the registry
-      }
-      if (node == nullptr) {
-        node = new Node(Node::Kind::kInterior, h, k, std::move(value));
-        register_allocation(node);
-      }
       for (int lv = 0; lv < h; ++lv)
         node->next[lv].store_unsynchronized(View{succs[lv], false, false});
       // Link level 0: the linearization point.
@@ -111,9 +107,17 @@ class RestartSkipList {
                                              View{node, false, false});
       if (res != View{succs[0], false, false}) {
         c.restart.inc();
+        if (find(k, preds, succs)) {
+          delete node;  // never published; lost to a mid-retry duplicate
+          stats::tls().op_insert.inc();
+          return false;
+        }
         continue;
       }
       c.insert_cas.inc();
+      // Published: hand the node to the allocation registry (reclaimed at
+      // destruction; this baseline deliberately leaks until then).
+      register_allocation(node);
       // Link the upper levels, re-finding on interference.
       for (int lv = 1; lv < h; ++lv) {
         for (;;) {

@@ -38,6 +38,17 @@
 //     Fomitchev's thesis; these routines are reconstructed from the paper's
 //     prose (every step of Section 4) plus the linked-list routines of
 //     Figures 3-5 they are explicitly built from.
+//
+// Memory layout is a template policy (mem/tower.h). The default,
+// mem::FlatTowers, allocates each tower as ONE contiguous 64-byte-aligned
+// block from a per-thread pool: the root's hot fields (succ, key) sit in
+// the block's first cache line, the down-descent stays inside the block,
+// and an insert costs one allocation instead of one per level.
+// mem::ChainedTowers reproduces the seed's per-level `new Node` placement
+// for the ablation benches (bench_memory_layout). Retirement is unchanged
+// either way: the whole tower is retired in one step when its last linked
+// node is unlinked (see the Node comments), which is exactly what lets a
+// flat block be freed as a unit.
 #pragma once
 
 #include <array>
@@ -54,15 +65,18 @@
 #include <vector>
 
 #include "lf/instrument/counters.h"
+#include "lf/mem/tower.h"
 #include "lf/reclaim/epoch.h"
 #include "lf/reclaim/reclaimer.h"
 #include "lf/sync/succ_field.h"
+#include "lf/util/prefetch.h"
 #include "lf/util/random.h"
 
 namespace lf {
 
 template <typename Key, typename T = Key, typename Compare = std::less<Key>,
-          typename Reclaimer = reclaim::EpochReclaimer, int MaxLevel = 24>
+          typename Reclaimer = reclaim::EpochReclaimer, int MaxLevel = 24,
+          typename Layout = mem::FlatTowers>
 class FRSkipList {
   static_assert(MaxLevel >= 2, "need at least two levels (erase cleanup)");
 
@@ -82,18 +96,26 @@ class FRSkipList {
   // higher so the top level is always an empty express lane.
   static constexpr int kMaxTowerHeight = MaxLevel - 1;
 
+  // Field order is cache-conscious: the members a search touches on every
+  // hop (succ, key, tower_root, kind) are declared first so they pack into
+  // the node's first cache line — which, under the flat layout, is also the
+  // first line of the tower's block. Recovery (backlink) and root-only
+  // bookkeeping follow. Both allocation policies hand out 64-byte-aligned
+  // blocks in whole lines, so adjacent nodes never share a line (the
+  // false-sharing padding the head tower needs comes from the allocator,
+  // not from inflating every node with alignas(64)).
   struct alignas(8) Node {
     enum class Kind : unsigned char { kHead, kInterior, kTail };
 
+    Succ succ;
+    Key key;
+    Node* tower_root;  // immutable; == this for root nodes
+    Node* down;        // immutable after construction
     Kind kind;
     int level;           // 1-based; immutable
     int planned_height;  // roots: the coin-flip height (census/E6); else 0
-    Key key;
     T value;  // meaningful in root nodes only
-    Succ succ;
     std::atomic<Node*> backlink{nullptr};
-    Node* down;        // immutable after construction
-    Node* tower_root;  // immutable; == this for root nodes
 
     // Tower-retirement bookkeeping, meaningful on ROOT nodes only.
     //
@@ -117,13 +139,13 @@ class FRSkipList {
 
     Node(Kind k, int lvl, Key key_arg, T value_arg, Node* down_arg,
          Node* root_arg)
-        : kind(k),
+        : key(std::move(key_arg)),
+          tower_root(root_arg == nullptr ? this : root_arg),
+          down(down_arg),
+          kind(k),
           level(lvl),
           planned_height(0),
-          key(std::move(key_arg)),
-          value(std::move(value_arg)),
-          down(down_arg),
-          tower_root(root_arg == nullptr ? this : root_arg) {
+          value(std::move(value_arg)) {
       if (root_arg == nullptr) tower_top.store(this,
                                                std::memory_order_relaxed);
     }
@@ -134,27 +156,44 @@ class FRSkipList {
       : FRSkipList(Compare{}, std::move(reclaimer)) {}
   FRSkipList(Compare comp, Reclaimer reclaimer)
       : comp_(std::move(comp)), reclaimer_(std::move(reclaimer)) {
-    tail_ = new Node(Node::Kind::kTail, 0, Key{}, T{}, nullptr, nullptr);
+    // Sentinels go through the layout's allocator too: every head level
+    // lands in its own cache line (the allocator hands out whole lines),
+    // so concurrent traffic on adjacent head levels cannot false-share.
+    tail_ = Layout::template make_sentinel<Node>(Node::Kind::kTail, 0, Key{},
+                                                 T{}, nullptr, nullptr);
     Node* below = nullptr;
     for (int v = 1; v <= MaxLevel; ++v) {
-      head_[v] = new Node(Node::Kind::kHead, v, Key{}, T{}, below, nullptr);
+      head_[v] = Layout::template make_sentinel<Node>(
+          Node::Kind::kHead, v, Key{}, T{}, below, nullptr);
       head_[v]->succ.store_unsynchronized(View{tail_, false, false});
       below = head_[v];
     }
     top_hint_.store(1, std::memory_order_relaxed);
   }
 
+  // Destruction requires quiescence. Under the flat layout each level-1
+  // node is a tower root owning one block for its whole tower; under the
+  // chained layout every linked node is freed individually per level.
   ~FRSkipList() {
-    for (int v = 1; v <= MaxLevel; ++v) {
-      Node* n = head_[v]->succ.load().right;
+    if constexpr (Layout::kFlat) {
+      Node* n = head_[1]->succ.load().right;
       while (n->kind != Node::Kind::kTail) {
         Node* next = n->succ.load().right;
-        delete n;
+        Layout::template destroy_tower<Node>(n);
         n = next;
       }
-      delete head_[v];
+    } else {
+      for (int v = 1; v <= MaxLevel; ++v) {
+        Node* n = head_[v]->succ.load().right;
+        while (n->kind != Node::Kind::kTail) {
+          Node* next = n->succ.load().right;
+          Layout::template destroy_node<Node>(n);
+          n = next;
+        }
+      }
     }
-    delete tail_;
+    for (int v = 1; v <= MaxLevel; ++v) Layout::free_sentinel(head_[v]);
+    Layout::free_sentinel(tail_);
   }
 
   FRSkipList(const FRSkipList&) = delete;
@@ -170,9 +209,9 @@ class FRSkipList {
       return false;  // DUPLICATE_KEY
     }
     const int tower_height = tls_rng().tower_height(kMaxTowerHeight);
-    Node* root = new Node(Node::Kind::kInterior, 1, k, std::move(value),
-                          nullptr, nullptr);
-    root->planned_height = tower_height;
+    Node* root = Layout::template make_root<Node>(
+        tower_height, Node::Kind::kInterior, 1, k, std::move(value), nullptr,
+        nullptr);
     Node* node = root;
     int curr_v = 1;
     for (;;) {
@@ -180,7 +219,8 @@ class FRSkipList {
       prev = new_prev;
       if (result == InsertResult::kDuplicate) {
         if (curr_v == 1) {
-          delete root;  // never published; nobody else can hold it
+          // Never published; nobody else can hold it.
+          Layout::free_unpublished_root(root);
           stats::tls().op_insert.inc();
           return false;
         }
@@ -189,7 +229,7 @@ class FRSkipList {
         // (never linked): roll tower_top back to the highest linked node
         // and release the reference taken before the attempt.
         root->tower_top.store(node->down, std::memory_order_release);
-        delete node;
+        Layout::free_unpublished_upper(node);
         release_tower_ref(root);
         break;
       }
@@ -209,7 +249,8 @@ class FRSkipList {
       // so pre-publishing tower_top is race-free. If the tower already died
       // (count reached zero), it must NOT be resurrected: stop building.
       if (!acquire_tower_ref(root)) break;
-      node = new Node(Node::Kind::kInterior, curr_v, k, T{}, below, root);
+      node = Layout::make_upper(root, curr_v, Node::Kind::kInterior, curr_v,
+                                k, T{}, below, root);
       root->tower_top.store(node, std::memory_order_release);
       std::tie(prev, next) = search_to_level<true>(k, curr_v);
     }
@@ -320,6 +361,9 @@ class FRSkipList {
   int top_level_hint() const noexcept {
     return top_hint_.load(std::memory_order_relaxed);
   }
+
+  // Human-readable name of the memory-layout policy (bench labels).
+  static constexpr const char* layout_name() noexcept { return Layout::kName; }
 
   // ---- Invariant validation & census (tests / E6; quiescent only) ------
 
@@ -472,6 +516,7 @@ class FRSkipList {
       return Closed ? node_le(n, k) : node_lt(n, k);
     };
     Node* next = curr->succ.load().right;
+    LF_PREFETCH(next);
     for (;;) {
       // Delete every superfluous tower node on the search path (root
       // marked). The trigger is key <= k in BOTH search modes: a strict
@@ -488,12 +533,16 @@ class FRSkipList {
           help_flagged(curr, next);
         }
         next = curr->succ.load().right;
+        LF_PREFETCH(next);
         c.next_update.inc();
       }
       if (!advances(next)) break;
       curr = next;
       c.curr_update.inc();
+      // The hop is a dependent-load chain; start pulling in the next node's
+      // line while this iteration finishes its key compare (util/prefetch.h).
       next = curr->succ.load().right;
+      LF_PREFETCH(next);
     }
     return {curr, next};
   }
@@ -525,16 +574,12 @@ class FRSkipList {
   }
 
   // Drop one reference on a tower; the thread that releases the last one
-  // retires every node of the tower in a single step (see Node docs).
+  // retires the whole tower in a single step (see Node docs) — per node
+  // under the chained layout, one block under the flat layout.
   void release_tower_ref(Node* root) const {
     if (root->tower_alive.fetch_sub(1, std::memory_order_acq_rel) != 1)
       return;
-    Node* n = root->tower_top.load(std::memory_order_acquire);
-    while (n != nullptr) {
-      Node* below = n->down;
-      reclaimer_.retire(n);
-      n = below;
-    }
+    Layout::retire_tower(reclaimer_, root);
   }
 
   void help_flagged(Node* prev, Node* del) const {
@@ -647,6 +692,9 @@ class FRSkipList {
   std::atomic<int> top_hint_;
 
   static_assert(reclaim::reclaimer_for<Reclaimer, Node>);
+  // Tower retirement goes through the layout's type-erased deleter, so the
+  // reclaimer must support deleter-based retirement (epoch and leaky do).
+  static_assert(reclaim::deferred_reclaimer<Reclaimer>);
 };
 
 }  // namespace lf

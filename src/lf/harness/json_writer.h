@@ -1,0 +1,103 @@
+// Minimal streaming JSON writer for machine-readable benchmark output
+// (BENCH_*.json files next to the human-readable tables). Comma placement
+// is handled by the writer; the caller is responsible for balanced
+// begin/end calls, which the bench binaries keep trivially in sight.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace lf::harness {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    comma();
+    out_ << '{';
+    fresh_ = true;
+    return *this;
+  }
+  JsonWriter& end_object() {
+    out_ << '}';
+    fresh_ = false;
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    comma();
+    out_ << '[';
+    fresh_ = true;
+    return *this;
+  }
+  JsonWriter& end_array() {
+    out_ << ']';
+    fresh_ = false;
+    return *this;
+  }
+  JsonWriter& key(const std::string& k) {
+    comma();
+    quote(k);
+    out_ << ':';
+    fresh_ = true;  // the upcoming value needs no comma
+    return *this;
+  }
+  JsonWriter& value(const std::string& v) {
+    comma();
+    quote(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v) {
+    comma();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    comma();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) {
+    comma();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& value(bool v) {
+    comma();
+    out_ << (v ? "true" : "false");
+    return *this;
+  }
+
+  template <typename V>
+  JsonWriter& field(const std::string& k, V v) {
+    key(k);
+    return value(v);
+  }
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  void comma() {
+    if (!fresh_) out_ << ',';
+    fresh_ = false;
+  }
+  void quote(const std::string& s) {
+    out_ << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ << "\\\""; break;
+        case '\\': out_ << "\\\\"; break;
+        case '\n': out_ << "\\n"; break;
+        case '\t': out_ << "\\t"; break;
+        default: out_ << c;
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostringstream out_;
+  bool fresh_ = true;
+};
+
+}  // namespace lf::harness

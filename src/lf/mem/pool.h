@@ -1,0 +1,119 @@
+// Per-thread segment pool with size-class freelists — the allocation
+// substrate for the lock-free structures' hot paths.
+//
+// Why a custom pool: the FR structures allocate one block per insert (a
+// node, or a whole flat tower) and free it through the reclaimer after a
+// grace period. Routing that churn through the global allocator puts a
+// lock-protected, cache-cold malloc/free pair on every insert/delete;
+// "Skiplists with Foresight" identifies exactly this allocator traffic and
+// the resulting heap-spread node placement as the dominant real-machine
+// cost of skip lists. The pool removes both: allocation is a thread-local
+// freelist pop (or bump-pointer carve), and freed blocks are recycled
+// line-aligned and warm.
+//
+// Design:
+//   * Size classes are multiples of one cache line (64 B) up to 4 KiB;
+//     larger requests fall through to the aligned global allocator
+//     (counted, so benchmarks can verify the hot path never takes it).
+//   * Every block is 64-byte aligned and a whole number of lines, so no
+//     two pool blocks ever share a cache line — adjacent nodes cannot
+//     false-share, and the tag bits of SuccField always have room.
+//   * Each thread owns a cache: one freelist per class plus a bump region
+//     carved from 256 KiB segments. allocate() touches no shared state
+//     unless the local freelist AND bump region are empty, in which case
+//     it adopts a batch from the shared pool or carves a fresh segment.
+//   * deallocate() pushes onto the CALLING thread's freelist: the freeing
+//     thread becomes the block's new owner. Under epoch-integrated
+//     reclamation frees happen on whichever thread advances the epoch, so
+//     ownership migrates with the reclamation work — by then the grace
+//     period has passed and the block is safe to hand out again (see
+//     DESIGN.md "Memory layout & reclamation-integrated pooling" for the
+//     ABA argument).
+//   * Segments are owned by an immortal process-wide registry and never
+//     returned to the OS: a block freed during late static teardown (the
+//     global epoch domain drains after main()) must still have a live
+//     segment under it. Exiting threads donate their freelists to the
+//     shared pool; the unfinished bump region is chopped into blocks and
+//     donated too, so nothing is stranded.
+//
+// Accounting (PoolTotals) is process-wide and monotone; benchmarks diff
+// snapshots around a measured region, and the pool unit tests assert the
+// grow/recycle arithmetic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "lf/util/align.h"
+
+namespace lf::mem {
+
+// One cache line per granule; classes 1..kNumClasses granules.
+inline constexpr std::size_t kGranule = kCacheLineSize;
+inline constexpr std::size_t kNumClasses = 64;
+inline constexpr std::size_t kMaxPooledBytes = kGranule * kNumClasses;
+inline constexpr std::size_t kSegmentBytes = 256 * 1024;
+// Blocks adopted from the shared pool per refill (amortizes the lock).
+inline constexpr std::size_t kAdoptBatch = 32;
+
+// Process-wide, monotone counters. Exact when read at quiescence; relaxed
+// (may be momentarily inconsistent) under concurrency, like all stats here.
+struct PoolTotals {
+  std::uint64_t requests = 0;        // pool_allocate calls
+  std::uint64_t fresh_blocks = 0;    // served by carving a bump region
+  std::uint64_t recycled_blocks = 0; // served from a freelist
+  std::uint64_t freed_blocks = 0;    // pool_deallocate calls (pooled sizes)
+  std::uint64_t segments = 0;        // 256 KiB segments from ::operator new
+  std::uint64_t oversize = 0;        // requests > kMaxPooledBytes (global)
+  std::uint64_t heap_allocs = 0;     // HeapAlloc::allocate calls
+  std::uint64_t heap_frees = 0;      // HeapAlloc::deallocate calls
+
+  // Global-allocator hits attributable to pooled allocation.
+  std::uint64_t global_hits() const noexcept { return segments + oversize; }
+
+  PoolTotals operator-(const PoolTotals& rhs) const noexcept {
+    PoolTotals out;
+    out.requests = requests - rhs.requests;
+    out.fresh_blocks = fresh_blocks - rhs.fresh_blocks;
+    out.recycled_blocks = recycled_blocks - rhs.recycled_blocks;
+    out.freed_blocks = freed_blocks - rhs.freed_blocks;
+    out.segments = segments - rhs.segments;
+    out.oversize = oversize - rhs.oversize;
+    out.heap_allocs = heap_allocs - rhs.heap_allocs;
+    out.heap_frees = heap_frees - rhs.heap_frees;
+    return out;
+  }
+};
+
+// Raw pool interface. Returned memory is always 64-byte aligned. `bytes`
+// passed to pool_deallocate must equal the original request (the usual
+// sized-deallocation contract).
+void* pool_allocate(std::size_t bytes);
+void pool_deallocate(void* p, std::size_t bytes);
+PoolTotals pool_totals();
+
+// 64-byte-aligned global-allocator path with the same interface, so the
+// allocation policy is a template knob and benchmarks can compare like
+// with like (both policies line-isolate their blocks).
+void* heap_allocate(std::size_t bytes);
+void heap_deallocate(void* p, std::size_t bytes);
+
+// ---- Allocation policies (template parameters of the structures) -------
+
+struct PoolAlloc {
+  static constexpr const char* kName = "pool";
+  static void* allocate(std::size_t bytes) { return pool_allocate(bytes); }
+  static void deallocate(void* p, std::size_t bytes) {
+    pool_deallocate(p, bytes);
+  }
+};
+
+struct HeapAlloc {
+  static constexpr const char* kName = "heap";
+  static void* allocate(std::size_t bytes) { return heap_allocate(bytes); }
+  static void deallocate(void* p, std::size_t bytes) {
+    heap_deallocate(p, bytes);
+  }
+};
+
+}  // namespace lf::mem

@@ -1,0 +1,200 @@
+// Tower layout policies for FRSkipList: how the nodes of one skip-list
+// tower are placed in memory, constructed, abandoned, and retired.
+//
+// The seed implementation allocated every tower level with its own `new
+// Node`, so descending a tower hops across unrelated heap pages — the
+// cache-miss tax "Skiplists with Foresight" identifies as the dominant
+// real-machine cost of skip lists. FlatTowerLayout removes it: the whole
+// tower (root + all planned levels) is ONE contiguous 64-byte-aligned
+// block; the root sits at offset 0 with its hot fields (key, succ) in the
+// first cache line, level v at offset (v-1)*sizeof(Node), and the `down`
+// descent stays inside the block. One block also means ONE allocation per
+// insert (instead of one per level) and ONE retirement per tower death.
+//
+// ChainedTowerLayout keeps the seed's pointer-chained placement so the
+// ablation benches (bench_memory_layout) can compare both under either
+// allocator. Both layouts require the Node type to provide:
+//
+//     planned_height   (int, root only)  — block size for flat towers
+//     tower_top        (atomic<Node*>)   — highest constructed node
+//     down             (Node*)           — next node toward the root
+//
+// which is exactly the tower-retirement bookkeeping FRSkipList::Node
+// already carries (see its comments for the tower_alive protocol).
+//
+// Retirement is deleter-based (Reclaimer::retire_with): a flat tower's
+// single deleter destroys every constructed node top-down and frees the
+// block once; the chained layout retires each node with a per-node
+// deleter. Either way the deleter runs only after the reclaimer's grace
+// period, so a recycled block can never be handed out while a pinned
+// reader still holds a pointer into it (the ABA-safety argument —
+// DESIGN.md "Memory layout & reclamation-integrated pooling").
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <utility>
+
+#include "lf/mem/pool.h"
+
+namespace lf::mem {
+
+template <typename Alloc>
+struct ChainedTowerLayout {
+  static constexpr bool kFlat = false;
+  using Mem = Alloc;
+
+  static constexpr const char* kName =
+      Mem::kName[0] == 'p' ? "chained/pool" : "chained/heap";
+
+  // Root of a new tower. planned_height is recorded on the root (the
+  // census and the flat layout's block size both need it).
+  template <typename Node, typename... Args>
+  static Node* make_root(int planned_height, Args&&... args) {
+    Node* root =
+        ::new (Mem::allocate(sizeof(Node))) Node(std::forward<Args>(args)...);
+    root->planned_height = planned_height;
+    return root;
+  }
+
+  // Node for level `level` of root's tower, constructed lazily as the
+  // build climbs.
+  template <typename Node, typename... Args>
+  static Node* make_upper(Node* /*root*/, int /*level*/, Args&&... args) {
+    return ::new (Mem::allocate(sizeof(Node)))
+        Node(std::forward<Args>(args)...);
+  }
+
+  // Sentinels (head levels, tail) use the same allocator so they are
+  // line-isolated under both policies.
+  template <typename Node, typename... Args>
+  static Node* make_sentinel(Args&&... args) {
+    return ::new (Mem::allocate(sizeof(Node)))
+        Node(std::forward<Args>(args)...);
+  }
+
+  // A node constructed but never published: destroy and free immediately.
+  template <typename Node>
+  static void free_unpublished_upper(Node* n) {
+    destroy_node<Node>(n);
+  }
+  template <typename Node>
+  static void free_unpublished_root(Node* root) {
+    destroy_node<Node>(root);
+  }
+
+  // Whole-tower retirement (tower_alive reached zero): hand every node of
+  // the tower to the reclaimer individually, exactly like the seed.
+  template <typename Node, typename Reclaimer>
+  static void retire_tower(Reclaimer& r, Node* root) {
+    Node* n = root->tower_top.load(std::memory_order_acquire);
+    while (n != nullptr) {
+      Node* below = n->down;
+      r.retire_with(n, &destroy_node<Node>);
+      n = below;
+    }
+  }
+
+  template <typename Node>
+  static void destroy_node(void* p) {
+    Node* n = static_cast<Node*>(p);
+    n->~Node();
+    Mem::deallocate(p, sizeof(Node));
+  }
+
+  template <typename Node>
+  static void free_sentinel(Node* n) {
+    destroy_node<Node>(n);
+  }
+};
+
+template <typename Alloc>
+struct FlatTowerLayout {
+  static constexpr bool kFlat = true;
+  using Mem = Alloc;
+
+  static constexpr const char* kName =
+      Mem::kName[0] == 'p' ? "flat/pool" : "flat/heap";
+
+  template <typename Node>
+  static constexpr std::size_t tower_bytes(int height) {
+    return sizeof(Node) * static_cast<std::size_t>(height);
+  }
+
+  // One contiguous block for the whole planned tower; the root occupies
+  // slot 0 so its key and succ land in the block's first cache line.
+  template <typename Node, typename... Args>
+  static Node* make_root(int planned_height, Args&&... args) {
+    void* block = Mem::allocate(tower_bytes<Node>(planned_height));
+    Node* root = ::new (block) Node(std::forward<Args>(args)...);
+    root->planned_height = planned_height;
+    return root;
+  }
+
+  // Level v lives at slot v-1 of the root's block (levels are 1-based).
+  template <typename Node, typename... Args>
+  static Node* make_upper(Node* root, int level, Args&&... args) {
+    void* slot = reinterpret_cast<char*>(root) +
+                 sizeof(Node) * static_cast<std::size_t>(level - 1);
+    return ::new (slot) Node(std::forward<Args>(args)...);
+  }
+
+  template <typename Node, typename... Args>
+  static Node* make_sentinel(Args&&... args) {
+    return ::new (Mem::allocate(sizeof(Node)))
+        Node(std::forward<Args>(args)...);
+  }
+
+  // Never-published upper node: destroy in place; its slot dies with the
+  // block when the tower is retired.
+  template <typename Node>
+  static void free_unpublished_upper(Node* n) {
+    n->~Node();
+  }
+
+  // Never-published root: the whole block goes back at once.
+  template <typename Node>
+  static void free_unpublished_root(Node* root) {
+    const int h = root->planned_height;
+    root->~Node();
+    Mem::deallocate(root, tower_bytes<Node>(h));
+  }
+
+  // Whole-tower retirement: ONE deleter for the whole block. The deleter
+  // walks tower_top -> down -> ... -> root destroying every node that was
+  // constructed (abandoned slots were already destroyed and removed from
+  // the chain), then frees the block.
+  template <typename Node, typename Reclaimer>
+  static void retire_tower(Reclaimer& r, Node* root) {
+    r.retire_with(root, &destroy_tower<Node>);
+  }
+
+  template <typename Node>
+  static void destroy_tower(void* p) {
+    Node* root = static_cast<Node*>(p);
+    const std::size_t bytes = tower_bytes<Node>(root->planned_height);
+    Node* n = root->tower_top.load(std::memory_order_acquire);
+    while (n != nullptr) {
+      Node* below = n->down;
+      n->~Node();
+      n = below;
+    }
+    Mem::deallocate(p, bytes);
+  }
+
+  template <typename Node>
+  static void free_sentinel(Node* n) {
+    n->~Node();
+    Mem::deallocate(n, sizeof(Node));
+  }
+};
+
+// The four configurations bench_memory_layout compares. FlatTowers is the
+// default for FRSkipList; ChainedTowers reproduces the seed exactly.
+using ChainedTowers = ChainedTowerLayout<HeapAlloc>;
+using PooledChainedTowers = ChainedTowerLayout<PoolAlloc>;
+using FlatTowers = FlatTowerLayout<PoolAlloc>;
+using FlatTowersHeap = FlatTowerLayout<HeapAlloc>;
+
+}  // namespace lf::mem

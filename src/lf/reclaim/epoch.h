@@ -83,6 +83,14 @@ class EpochDomain {
     retire_erased(node, [](void* p) { delete static_cast<Node*>(p); });
   }
 
+  // Deleter-based retirement: `deleter(object)` runs after the grace
+  // period. This is the hook pooled/flat-tower layouts use to return
+  // blocks to their freelist only once no pinned reader can still hold a
+  // pointer into them (mem/tower.h) — the epoch-integrated recycle path.
+  void retire_with(void* object, void (*deleter)(void*)) {
+    retire_erased(object, deleter);
+  }
+
   // Drives epochs forward and frees everything whose grace period elapsed.
   // Only fully drains when no thread is pinned. Intended for tests,
   // structure destructors and benchmark teardown.
@@ -140,6 +148,10 @@ class EpochReclaimer {
   template <typename Node>
   void retire(Node* node) {
     domain_->retire(node);
+  }
+
+  void retire_with(void* object, void (*deleter)(void*)) {
+    domain_->retire_with(object, deleter);
   }
 
   EpochDomain& domain() noexcept { return *domain_; }

@@ -21,6 +21,12 @@ class LeakyReclaimer {
     // Deliberately leaked; counted so tests can assert the retire paths ran.
     stats::tls().node_retired.inc();
   }
+
+  // Deleter-based retirement (pooled/flat-tower layouts): the deleter is
+  // never run, so the block is leaked exactly like a `retire`d node.
+  void retire_with(void* /*object*/, void (*/*deleter*/)(void*)) noexcept {
+    stats::tls().node_retired.inc();
+  }
 };
 
 }  // namespace lf::reclaim

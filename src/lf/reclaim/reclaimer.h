@@ -38,4 +38,16 @@ concept reclaimer_for = requires(R r, Node* n) {
   { r.retire(n) };
 };
 
+// Extended policy for structures with pooled / non-trivially-freed memory
+// (flat towers, pool-recycled nodes): retirement carries an explicit
+// deleter that runs after the grace period, so the structure controls how
+// the block returns to its arena. Epoch and Leaky provide it; hazard
+// pointers keep the narrower interface (they are only used by
+// MichaelListHP, which owns its nodes individually).
+template <typename R>
+concept deferred_reclaimer = requires(R r, void* p, void (*d)(void*)) {
+  { r.guard() };
+  { r.retire_with(p, d) };
+};
+
 }  // namespace lf::reclaim

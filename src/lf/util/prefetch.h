@@ -1,0 +1,16 @@
+// Software prefetch hint for pointer-chasing search loops.
+//
+// A list/skip-list search is a dependent-load chain: the next node's
+// address is known one comparison before its cache line is needed. Issuing
+// a prefetch the moment the pointer is loaded overlaps the line fill with
+// the remaining work on the current node (key compare, mark/flag checks,
+// step-counter updates) — the "foresight" trick of cache-conscious skip
+// lists. Read-only (rw=0), high temporal locality (locality=3); a null or
+// tail pointer is fine, prefetch never faults.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define LF_PREFETCH(addr) __builtin_prefetch((addr), 0, 3)
+#else
+#define LF_PREFETCH(addr) ((void)0)
+#endif

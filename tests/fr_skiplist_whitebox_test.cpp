@@ -1,17 +1,32 @@
 // White-box tests for FRSkipList: tower retirement accounting, per-level
 // structure after deletions, the three-step protocol at every level, and
 // the first() accessor the priority-queue adapter relies on.
+//
+// The whole suite is typed over the memory-layout policies (mem/tower.h):
+// the algorithm must behave identically whether towers are flat blocks or
+// pointer-chained nodes, pooled or heap-allocated.
 #include <gtest/gtest.h>
 
 #include "lf/core/fr_skiplist.h"
 #include "lf/instrument/counters.h"
+#include "lf/mem/tower.h"
 #include "lf/reclaim/epoch.h"
 
 namespace {
 
-using Skip = lf::FRSkipList<long, long>;
+template <typename Layout>
+struct FRSkipListWhitebox : ::testing::Test {
+  using Skip = lf::FRSkipList<long, long, std::less<long>,
+                              lf::reclaim::EpochReclaimer, 24, Layout>;
+};
 
-TEST(FRSkipListWhitebox, EraseRemovesKeyFromEveryLevel) {
+using Layouts =
+    ::testing::Types<lf::mem::FlatTowers, lf::mem::FlatTowersHeap,
+                     lf::mem::PooledChainedTowers, lf::mem::ChainedTowers>;
+TYPED_TEST_SUITE(FRSkipListWhitebox, Layouts);
+
+TYPED_TEST(FRSkipListWhitebox, EraseRemovesKeyFromEveryLevel) {
+  using Skip = typename TestFixture::Skip;
   Skip s;
   for (long k = 0; k < 300; ++k) s.insert(k, k);
   ASSERT_TRUE(s.erase(150));
@@ -24,25 +39,28 @@ TEST(FRSkipListWhitebox, EraseRemovesKeyFromEveryLevel) {
   }
 }
 
-TEST(FRSkipListWhitebox, TowersAreRetiredWholeAndFreed) {
+TYPED_TEST(FRSkipListWhitebox, TowersAreRetiredWholeAndFreed) {
+  using Skip = typename TestFixture::Skip;
   lf::reclaim::EpochDomain domain;
   {
-    lf::FRSkipList<long, long> s{lf::reclaim::EpochReclaimer(domain)};
+    Skip s{lf::reclaim::EpochReclaimer(domain)};
     const auto before = lf::stats::aggregate();
     for (long k = 0; k < 1000; ++k) s.insert(k, k);
     for (long k = 0; k < 1000; ++k) ASSERT_TRUE(s.erase(k));
     domain.drain();
     const auto delta = lf::stats::aggregate() - before;
-    // Every node of every tower (>= one per key) must have been retired
-    // and, after drain, freed. retired == freed means no node leaked and
-    // none was double-retired (a double retire would crash in free).
+    // Every tower must have been retired (as one block under the flat
+    // layout, node by node under the chained one) and, after drain, freed.
+    // retired == freed means no retirement leaked and none was doubled (a
+    // double retire would crash in free).
     EXPECT_GE(delta.node_retired, 1000u);
     EXPECT_EQ(delta.node_retired, delta.node_freed);
     EXPECT_EQ(domain.retired_count(), 0u);
   }
 }
 
-TEST(FRSkipListWhitebox, DeletionRunsThreeStepsPerLevel) {
+TYPED_TEST(FRSkipListWhitebox, DeletionRunsThreeStepsPerLevel) {
+  using Skip = typename TestFixture::Skip;
   Skip s;
   // Insert until we get a tower of height >= 2 and capture its key.
   long tall_key = -1;
@@ -75,7 +93,8 @@ TEST(FRSkipListWhitebox, DeletionRunsThreeStepsPerLevel) {
   EXPECT_EQ(delta.pdelete_cas, static_cast<std::uint64_t>(height));
 }
 
-TEST(FRSkipListWhitebox, FirstReturnsSmallestRegularKey) {
+TYPED_TEST(FRSkipListWhitebox, FirstReturnsSmallestRegularKey) {
+  using Skip = typename TestFixture::Skip;
   Skip s;
   EXPECT_FALSE(s.first().has_value());
   s.insert(50, 500);
@@ -92,7 +111,8 @@ TEST(FRSkipListWhitebox, FirstReturnsSmallestRegularKey) {
   EXPECT_FALSE(s.first().has_value());
 }
 
-TEST(FRSkipListWhitebox, ValidateCountsMatchCensus) {
+TYPED_TEST(FRSkipListWhitebox, ValidateCountsMatchCensus) {
+  using Skip = typename TestFixture::Skip;
   Skip s;
   for (long k = 0; k < 5000; ++k) s.insert(k * 3, k);
   const auto rep = s.validate();
@@ -105,7 +125,8 @@ TEST(FRSkipListWhitebox, ValidateCountsMatchCensus) {
   EXPECT_EQ(census.towers, 5000u);
 }
 
-TEST(FRSkipListWhitebox, TopHintNeverExceedsTallestTower) {
+TYPED_TEST(FRSkipListWhitebox, TopHintNeverExceedsTallestTower) {
+  using Skip = typename TestFixture::Skip;
   Skip s;
   for (long k = 0; k < 3000; ++k) s.insert(k, k);
   const auto census = s.census();
@@ -115,7 +136,8 @@ TEST(FRSkipListWhitebox, TopHintNeverExceedsTallestTower) {
   EXPECT_GE(s.top_level_hint(), tallest);
 }
 
-TEST(FRSkipListWhitebox, RangeQueriesVisitExactInterval) {
+TYPED_TEST(FRSkipListWhitebox, RangeQueriesVisitExactInterval) {
+  using Skip = typename TestFixture::Skip;
   Skip s;
   for (long k = 0; k < 100; ++k) s.insert(k * 2, k);  // evens 0..198
   std::vector<long> seen;
@@ -133,7 +155,8 @@ TEST(FRSkipListWhitebox, RangeQueriesVisitExactInterval) {
   EXPECT_EQ(s.count_range(0, 1000), 100u);  // everything
 }
 
-TEST(FRSkipListWhitebox, RangeSkipsDeletedKeys) {
+TYPED_TEST(FRSkipListWhitebox, RangeSkipsDeletedKeys) {
+  using Skip = typename TestFixture::Skip;
   Skip s;
   for (long k = 0; k < 50; ++k) s.insert(k, k);
   for (long k = 10; k < 20; ++k) s.erase(k);
@@ -143,7 +166,8 @@ TEST(FRSkipListWhitebox, RangeSkipsDeletedKeys) {
   EXPECT_EQ(seen, (std::vector<long>{8, 9, 20, 21}));
 }
 
-TEST(FRSkipListWhitebox, SearchHasNoSideEffectsOnCleanList) {
+TYPED_TEST(FRSkipListWhitebox, SearchHasNoSideEffectsOnCleanList) {
+  using Skip = typename TestFixture::Skip;
   Skip s;
   for (long k = 0; k < 100; ++k) s.insert(k, k);
   const auto before = lf::stats::aggregate();
@@ -151,6 +175,37 @@ TEST(FRSkipListWhitebox, SearchHasNoSideEffectsOnCleanList) {
   const auto delta = lf::stats::aggregate() - before;
   EXPECT_EQ(delta.cas_attempt, 0u);  // nothing to help or flag
   EXPECT_EQ(delta.help_flagged, 0u);
+}
+
+// The flat layout packs the tower into one block: verify the advertised
+// address arithmetic actually holds for linked towers (root at offset 0,
+// level v at offset (v-1)*sizeof(Node)) — the property the cache-locality
+// claims rest on.
+TEST(FlatTowerLayout, UpperNodesLiveInsideTheRootBlock) {
+  using Skip = lf::FRSkipList<long, long, std::less<long>,
+                              lf::reclaim::EpochReclaimer, 24,
+                              lf::mem::FlatTowers>;
+  Skip s;
+  for (long k = 0; k < 500; ++k) s.insert(k, k);
+  std::size_t towers_checked = 0;
+  for (int v = 2; v <= 23; ++v) {
+    for (auto* p = s.head(v)->succ.load().right;
+         p->kind != Skip::Node::Kind::kTail; p = p->succ.load().right) {
+      const auto* root = p->tower_root;
+      const auto off = reinterpret_cast<const char*>(p) -
+                       reinterpret_cast<const char*>(root);
+      EXPECT_EQ(off, static_cast<std::ptrdiff_t>(sizeof(typename Skip::Node)) *
+                         (p->level - 1));
+      EXPECT_LT(p->level, root->planned_height + 1);
+      ++towers_checked;
+    }
+  }
+  EXPECT_GT(towers_checked, 0u);
+  // Roots come from the pool: 64-byte aligned, every time.
+  for (auto* p = s.head(1)->succ.load().right;
+       p->kind != Skip::Node::Kind::kTail; p = p->succ.load().right) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+  }
 }
 
 }  // namespace

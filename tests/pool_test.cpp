@@ -1,0 +1,139 @@
+// Unit tests for the per-thread segment pool (lf/mem/pool.h): size-class
+// arithmetic via the public interface, grow/recycle accounting, oversize
+// fallthrough, alignment, and cross-thread donation at thread exit.
+//
+// PoolTotals counters are process-wide and monotone, so every test works on
+// diffs of snapshots taken around its own traffic (gtest runs the tests in
+// this binary sequentially on one thread unless a test spawns its own).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "lf/mem/pool.h"
+
+namespace {
+
+using lf::mem::kGranule;
+using lf::mem::kMaxPooledBytes;
+using lf::mem::kSegmentBytes;
+using lf::mem::PoolTotals;
+using lf::mem::pool_allocate;
+using lf::mem::pool_deallocate;
+using lf::mem::pool_totals;
+
+TEST(Pool, BlocksAre64ByteAligned) {
+  const std::size_t sizes[] = {1, 8, 63, 64, 65, 128, 200, 1024,
+                               kMaxPooledBytes};
+  std::vector<std::pair<void*, std::size_t>> blocks;
+  for (std::size_t sz : sizes) {
+    void* p = pool_allocate(sz);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % kGranule, 0u)
+        << "size " << sz;
+    blocks.emplace_back(p, sz);
+  }
+  for (auto [p, sz] : blocks) pool_deallocate(p, sz);
+}
+
+TEST(Pool, FreshThenRecycled) {
+  const PoolTotals before = pool_totals();
+  void* p = pool_allocate(96);  // class: 2 granules (128 B)
+  pool_deallocate(p, 96);
+  // Same class: must come back off this thread's freelist.
+  void* q = pool_allocate(100);
+  EXPECT_EQ(q, p);
+  pool_deallocate(q, 100);
+  const PoolTotals d = pool_totals() - before;
+  EXPECT_EQ(d.requests, 2u);
+  EXPECT_EQ(d.freed_blocks, 2u);
+  EXPECT_EQ(d.recycled_blocks + d.fresh_blocks, 2u);
+  EXPECT_GE(d.recycled_blocks, 1u);  // the second allocate recycled
+  EXPECT_EQ(d.oversize, 0u);
+}
+
+TEST(Pool, AccountingBalances) {
+  const PoolTotals before = pool_totals();
+  constexpr int kN = 500;
+  std::vector<void*> blocks;
+  blocks.reserve(kN);
+  for (int i = 0; i < kN; ++i) blocks.push_back(pool_allocate(64));
+  for (void* p : blocks) pool_deallocate(p, 64);
+  for (int i = 0; i < kN; ++i) blocks[i] = pool_allocate(64);
+  const PoolTotals mid = pool_totals() - before;
+  // Every request is served fresh or recycled, never both; the second wave
+  // must be recycled entirely (the freelist held kN blocks of this class).
+  EXPECT_EQ(mid.requests, 2u * kN);
+  EXPECT_EQ(mid.fresh_blocks + mid.recycled_blocks, 2u * kN);
+  EXPECT_GE(mid.recycled_blocks, static_cast<std::uint64_t>(kN));
+  for (void* p : blocks) pool_deallocate(p, 64);
+}
+
+TEST(Pool, SegmentsGrowWithDemand) {
+  const PoolTotals before = pool_totals();
+  // Allocate more than three segments' worth of one class without freeing
+  // (the current bump region can absorb at most one segment of demand).
+  const std::size_t block = 4 * kGranule;
+  const std::size_t count = (3 * kSegmentBytes) / block + 8;
+  std::vector<void*> blocks;
+  blocks.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    blocks.push_back(pool_allocate(block));
+  const PoolTotals d = pool_totals() - before;
+  EXPECT_GE(d.segments, 2u);
+  EXPECT_GE(d.fresh_blocks, count - d.recycled_blocks);
+  for (void* p : blocks) pool_deallocate(p, block);
+}
+
+TEST(Pool, OversizeFallsThroughToGlobalAllocator) {
+  const PoolTotals before = pool_totals();
+  void* p = pool_allocate(kMaxPooledBytes + 1);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % kGranule, 0u);
+  pool_deallocate(p, kMaxPooledBytes + 1);
+  const PoolTotals d = pool_totals() - before;
+  EXPECT_EQ(d.oversize, 1u);
+  EXPECT_EQ(d.fresh_blocks, 0u);
+  EXPECT_EQ(d.recycled_blocks, 0u);
+  EXPECT_EQ(d.freed_blocks, 0u);  // oversize frees bypass the freelists
+}
+
+TEST(Pool, ExitingThreadDonatesItsFreelist) {
+  // A worker allocates and frees blocks of a distinctive class, then exits:
+  // its freelist must be donated so this thread can recycle the blocks.
+  constexpr std::size_t kBytes = 7 * kGranule;
+  constexpr int kN = 64;
+  std::thread worker([&] {
+    std::vector<void*> blocks;
+    for (int i = 0; i < kN; ++i) blocks.push_back(pool_allocate(kBytes));
+    for (void* p : blocks) pool_deallocate(p, kBytes);
+  });
+  worker.join();
+  const PoolTotals before = pool_totals();
+  std::vector<void*> blocks;
+  for (int i = 0; i < kN; ++i) blocks.push_back(pool_allocate(kBytes));
+  const PoolTotals d = pool_totals() - before;
+  EXPECT_GE(d.recycled_blocks, static_cast<std::uint64_t>(kN));
+  for (void* p : blocks) pool_deallocate(p, kBytes);
+}
+
+TEST(Pool, CrossThreadFreeMigratesOwnership) {
+  // Blocks allocated here but freed on another thread belong to that thread
+  // afterwards; when it exits they reach the shared pool and flow back.
+  constexpr std::size_t kBytes = 9 * kGranule;
+  constexpr int kN = 32;
+  std::vector<void*> blocks;
+  for (int i = 0; i < kN; ++i) blocks.push_back(pool_allocate(kBytes));
+  std::thread freer([&] {
+    for (void* p : blocks) pool_deallocate(p, kBytes);
+  });
+  freer.join();
+  const PoolTotals before = pool_totals();
+  for (int i = 0; i < kN; ++i) blocks[i] = pool_allocate(kBytes);
+  const PoolTotals d = pool_totals() - before;
+  EXPECT_GE(d.recycled_blocks, static_cast<std::uint64_t>(kN));
+  for (void* p : blocks) pool_deallocate(p, kBytes);
+}
+
+}  // namespace
