@@ -24,6 +24,7 @@
 #include <tuple>
 #include <utility>
 
+#include "lf/chaos/chaos.h"
 #include "lf/instrument/counters.h"
 #include "lf/reclaim/epoch.h"
 #include "lf/reclaim/reclaimer.h"
@@ -91,7 +92,8 @@ class HarrisList {
     for (;;) {
       node->succ.store_unsynchronized(View{right, false, false});
       const View result =
-          left->succ.cas(View{right, false, false}, View{node, false, false});
+          chaos_cas(chaos::Site::kBaseInsertCas, left->succ,
+                    View{right, false, false}, View{node, false, false});
       if (result == View{right, false, false}) {
         stats::tls().insert_cas.inc();
         stats::tls().op_insert.inc();
@@ -119,7 +121,8 @@ class HarrisList {
         continue;
       }
       // Logical deletion: mark right.
-      const View result = right->succ.cas(
+      const View result = chaos_cas(
+          chaos::Site::kBaseMarkCas, right->succ,
           View{right_succ.right, false, false},
           View{right_succ.right, true, false});
       if (result != View{right_succ.right, false, false}) {
@@ -129,8 +132,10 @@ class HarrisList {
       stats::tls().mark_cas.inc();
       erased = true;
       // Physical deletion: try once; on failure let a search clean up.
-      const View unlink = left->succ.cas(View{right, false, false},
-                                         View{right_succ.right, false, false});
+      const View unlink =
+          chaos_cas(chaos::Site::kBaseUnlinkCas, left->succ,
+                    View{right, false, false},
+                    View{right_succ.right, false, false});
       if (unlink == View{right, false, false}) {
         stats::tls().pdelete_cas.inc();
         reclaimer_.retire(right);
@@ -199,8 +204,9 @@ class HarrisList {
     bool inserted = false;
     for (;;) {
       cur.node->succ.store_unsynchronized(View{right, false, false});
-      const View result = left->succ.cas(View{right, false, false},
-                                         View{cur.node, false, false});
+      const View result =
+          chaos_cas(chaos::Site::kBaseInsertCas, left->succ,
+                    View{right, false, false}, View{cur.node, false, false});
       if (result == View{right, false, false}) {
         stats::tls().insert_cas.inc();
         inserted = true;
@@ -227,8 +233,9 @@ class HarrisList {
     [[maybe_unused]] auto guard = reclaimer_.guard();
     auto& c = stats::tls();
     cur.node->succ.store_unsynchronized(View{cur.right, false, false});
-    const View result = cur.left->succ.cas(View{cur.right, false, false},
-                                           View{cur.node, false, false});
+    const View result =
+        chaos_cas(chaos::Site::kBaseInsertCas, cur.left->succ,
+                  View{cur.right, false, false}, View{cur.node, false, false});
     if (result == View{cur.right, false, false}) {
       c.insert_cas.inc();
       c.op_insert.inc();
@@ -251,6 +258,21 @@ class HarrisList {
   Node* head() const noexcept { return head_; }
 
  private:
+  // Chaos wrapper, as in FRList: E12 forces failures here so restart-based
+  // recovery can be compared against FRList's backlink recovery under the
+  // same injected fault train.
+  static View chaos_cas([[maybe_unused]] chaos::Site site, Succ& field,
+                        View expected, View desired) {
+#if LF_CHAOS
+    chaos::point(site);
+    if (chaos::force_cas_fail(site)) {
+      stats::tls().cas_attempt.inc();
+      return View{nullptr, true, false};
+    }
+#endif
+    return field.cas(expected, desired);
+  }
+
   bool node_lt(const Node* n, const Key& k) const {
     if (n->kind == Node::Kind::kHead) return true;
     if (n->kind == Node::Kind::kTail) return false;
@@ -294,8 +316,8 @@ class HarrisList {
         return {left, right};
       }
       // Phase 3: unlink the marked chain between left and right.
-      const View result =
-          left->succ.cas(left_succ, View{right, false, false});
+      const View result = chaos_cas(chaos::Site::kBaseUnlinkCas, left->succ,
+                                    left_succ, View{right, false, false});
       if (result == left_succ) {
         c.pdelete_cas.inc();
         // The winner retires the whole unlinked chain.

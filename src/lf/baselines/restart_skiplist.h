@@ -28,6 +28,7 @@
 #include <thread>
 #include <utility>
 
+#include "lf/chaos/chaos.h"
 #include "lf/instrument/counters.h"
 #include "lf/sync/succ_field.h"
 #include "lf/util/random.h"
@@ -103,8 +104,9 @@ class RestartSkipList {
       for (int lv = 0; lv < h; ++lv)
         node->next[lv].store_unsynchronized(View{succs[lv], false, false});
       // Link level 0: the linearization point.
-      const View res = preds[0]->next[0].cas(View{succs[0], false, false},
-                                             View{node, false, false});
+      const View res =
+          chaos_cas(chaos::Site::kBaseInsertCas, preds[0]->next[0],
+                    View{succs[0], false, false}, View{node, false, false});
       if (res != View{succs[0], false, false}) {
         c.restart.inc();
         if (find(k, preds, succs)) {
@@ -129,8 +131,9 @@ class RestartSkipList {
                 View{mine.right, false, false}, View{succ, false, false});
             if (redirect != View{mine.right, false, false}) continue;
           }
-          const View link = preds[lv]->next[lv].cas(
-              View{succ, false, false}, View{node, false, false});
+          const View link =
+              chaos_cas(chaos::Site::kBaseInsertCas, preds[lv]->next[lv],
+                        View{succ, false, false}, View{node, false, false});
           if (link == View{succ, false, false}) {
             c.insert_cas.inc();
             break;
@@ -165,8 +168,9 @@ class RestartSkipList {
       for (;;) {
         const View v = victim->next[0].load();
         if (v.mark) break;  // a concurrent erase won
-        const View res = victim->next[0].cas(View{v.right, false, false},
-                                             View{v.right, true, false});
+        const View res =
+            chaos_cas(chaos::Site::kBaseMarkCas, victim->next[0],
+                      View{v.right, false, false}, View{v.right, true, false});
         if (res == View{v.right, false, false}) {
           c.mark_cas.inc();
           erased = true;
@@ -226,6 +230,20 @@ class RestartSkipList {
   }
 
  private:
+  // Chaos wrapper, as in HarrisList: E12 forces failures here to measure
+  // restart-from-the-top recovery against FRSkipList's backlink recovery.
+  static View chaos_cas([[maybe_unused]] chaos::Site site, Succ& field,
+                        View expected, View desired) {
+#if LF_CHAOS
+    chaos::point(site);
+    if (chaos::force_cas_fail(site)) {
+      stats::tls().cas_attempt.inc();
+      return View{nullptr, true, false};
+    }
+#endif
+    return field.cas(expected, desired);
+  }
+
   bool node_lt(const Node* n, const Key& k) const {
     if (n->kind == Node::Kind::kHead) return true;
     if (n->kind == Node::Kind::kTail) return false;
@@ -264,9 +282,10 @@ class RestartSkipList {
       for (;;) {
         View curr_succ = curr->next[lv].load();
         while (curr_succ.mark) {
-          const View res = pred->next[lv].cas(View{curr, false, false},
-                                              View{curr_succ.right, false,
-                                                   false});
+          const View res =
+              chaos_cas(chaos::Site::kBaseUnlinkCas, pred->next[lv],
+                        View{curr, false, false},
+                        View{curr_succ.right, false, false});
           if (res != View{curr, false, false}) {
             c.restart.inc();
             goto retry;

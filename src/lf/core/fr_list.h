@@ -60,12 +60,14 @@
 #include <cassert>
 #include <cstddef>
 #include <functional>
+#include <new>
 #include <optional>
 #include <string>
 #include <tuple>
 #include <utility>
 #include <vector>
 
+#include "lf/chaos/chaos.h"
 #include "lf/instrument/counters.h"
 #include "lf/mem/pool.h"
 #include "lf/reclaim/epoch.h"
@@ -145,18 +147,33 @@ class FRList {
 
   // ---- Dictionary operations (paper Figures 3-5) ----------------------
 
+  // insert_checked distinguishes "key already present" from "allocation
+  // failed": a node allocation that throws std::bad_alloc is absorbed
+  // before anything is linked, so the structure is untouched.
+  enum class InsertStatus { kInserted, kDuplicate, kNoMemory };
+
   // INSERT(k, e): true on success, false if the key is already present.
   bool insert(const Key& k, T value) {
+    return insert_checked(k, std::move(value)) == InsertStatus::kInserted;
+  }
+
+  InsertStatus insert_checked(const Key& k, T value) {
     [[maybe_unused]] auto guard = reclaimer_.guard();
     auto [prev, next] = search_from<true>(k, head_);
     if (node_eq(prev, k)) {
       stats::tls().op_insert.inc();
-      return false;  // DUPLICATE_KEY
+      return InsertStatus::kDuplicate;  // DUPLICATE_KEY
     }
-    Node* node = new Node(Node::Kind::kInterior, k, std::move(value));
+    Node* node = nullptr;
+    try {
+      node = new Node(Node::Kind::kInterior, k, std::move(value));
+    } catch (const std::bad_alloc&) {
+      stats::tls().op_insert.inc();
+      return InsertStatus::kNoMemory;  // nothing linked, nothing leaked
+    }
     const bool inserted = insert_loop(node, prev, next);
     stats::tls().op_insert.inc();
-    return inserted;
+    return inserted ? InsertStatus::kInserted : InsertStatus::kDuplicate;
   }
 
   // DELETE(k): true if this operation deleted the key, false otherwise
@@ -317,8 +334,9 @@ class FRList {
       help_flagged(prev, prev_succ.right);
     } else {
       cur.node->succ.store_unsynchronized(View{next, false, false});
-      const View result = prev->succ.cas(View{next, false, false},
-                                         View{cur.node, false, false});
+      const View result =
+          chaos_cas(chaos::Site::kListInsertCas, prev->succ,
+                    View{next, false, false}, View{cur.node, false, false});
       if (result == View{next, false, false}) {
         c.insert_cas.inc();
         c.op_insert.inc();
@@ -328,6 +346,7 @@ class FRList {
       if (result.flag && !result.mark) help_flagged(prev, result.right);
       std::uint64_t chain = 0;
       while (prev->succ.load().mark) {
+        LF_CHAOS_POINT(kListBacklinkStep);
         c.backlink_traversal.inc();
         ++chain;
         prev = prev->backlink.load(std::memory_order_acquire);
@@ -388,6 +407,26 @@ class FRList {
   Reclaimer& reclaimer() noexcept { return reclaimer_; }
 
  private:
+  // ---- Chaos instrumentation -------------------------------------------
+  //
+  // Every protocol C&S goes through this wrapper. With LF_CHAOS off it
+  // inlines to the bare primitive. With chaos on, the site becomes an
+  // injection point, and an armed forced failure returns a view matching
+  // no caller's success or helping pattern — callers then re-read real
+  // state and take their recovery path (retry / help / backlink walk)
+  // exactly as if a concurrent thread had won the C&S.
+  static View chaos_cas([[maybe_unused]] chaos::Site site, Succ& field,
+                        View expected, View desired) {
+#if LF_CHAOS
+    chaos::point(site);
+    if (chaos::force_cas_fail(site)) {
+      stats::tls().cas_attempt.inc();  // a failed attempt is still a step
+      return View{nullptr, true, false};
+    }
+#endif
+    return field.cas(expected, desired);
+  }
+
   // ---- Key/sentinel ordering helpers -----------------------------------
   // Sentinels hold no real keys; kHead compares below and kTail above
   // every key, realizing the paper's -inf/+inf dummy keys for arbitrary
@@ -439,6 +478,7 @@ class FRList {
         c.next_update.inc();  // paper line 6
       }
       if (advances(next)) {
+        LF_CHAOS_POINT(kListSearchStep);
         curr = next;
         c.curr_update.inc();  // paper line 8
         // Start the next hop's line fill while this node's key compares
@@ -457,10 +497,12 @@ class FRList {
   // node prev) and removes prev's flag, in one C&S. The thread whose C&S
   // performs the unlink owns retirement of del.
   void help_marked(Node* prev, Node* del) const {
+    LF_CHAOS_POINT(kListHelpMarked);
     stats::tls().help_marked.inc();
     Node* next = del->succ.load().right;
     const View result =
-        prev->succ.cas(View{del, false, true}, View{next, false, false});
+        chaos_cas(chaos::Site::kListUnlinkCas, prev->succ,
+                  View{del, false, true}, View{next, false, false});
     if (result == View{del, false, true}) {
       stats::tls().pdelete_cas.inc();
       reclaimer_.retire(del);
@@ -473,6 +515,7 @@ class FRList {
   // then physically delete it. Callable by any thread (helping); all
   // callers compute the same backlink value, so the store is idempotent.
   void help_flagged(Node* prev, Node* del) const {
+    LF_CHAOS_POINT(kListHelpFlagged);
     stats::tls().help_flagged.inc();
     del->backlink.store(prev, std::memory_order_release);
     if (!del->succ.load().mark) try_mark(del);
@@ -484,7 +527,8 @@ class FRList {
     do {
       Node* next = del->succ.load().right;
       const View result =
-          del->succ.cas(View{next, false, false}, View{next, true, false});
+          chaos_cas(chaos::Site::kListMarkCas, del->succ,
+                    View{next, false, false}, View{next, true, false});
       if (result == View{next, false, false}) {
         stats::tls().mark_cas.inc();
       } else if (result.flag && !result.mark) {
@@ -508,8 +552,9 @@ class FRList {
       if (prev->succ.load() == View{target, false, true}) {
         return {prev, false};  // predecessor already flagged by someone else
       }
-      const View result = prev->succ.cas(View{target, false, false},
-                                         View{target, false, true});
+      const View result =
+          chaos_cas(chaos::Site::kListFlagCas, prev->succ,
+                    View{target, false, false}, View{target, false, true});
       if (result == View{target, false, false}) {
         c.flag_cas.inc();
         return {prev, true};
@@ -521,6 +566,7 @@ class FRList {
       // chain to the nearest unmarked node (paper lines 9-10).
       std::uint64_t chain = 0;
       while (prev->succ.load().mark) {
+        LF_CHAOS_POINT(kListBacklinkStep);
         c.backlink_traversal.inc();
         ++chain;
         prev = prev->backlink.load(std::memory_order_acquire);
@@ -548,7 +594,8 @@ class FRList {
       } else {
         node->succ.store_unsynchronized(View{next, false, false});
         const View result =
-            prev->succ.cas(View{next, false, false}, View{node, false, false});
+            chaos_cas(chaos::Site::kListInsertCas, prev->succ,
+                      View{next, false, false}, View{node, false, false});
         if (result == View{next, false, false}) {
           c.insert_cas.inc();
           return true;  // successful insertion (linearization point)
@@ -558,6 +605,7 @@ class FRList {
         }
         std::uint64_t chain = 0;
         while (prev->succ.load().mark) {
+          LF_CHAOS_POINT(kListBacklinkStep);
           c.backlink_traversal.inc();
           ++chain;
           prev = prev->backlink.load(std::memory_order_acquire);

@@ -56,6 +56,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <new>
 #include <optional>
 #include <string>
 #include <thread>
@@ -64,6 +65,7 @@
 #include <utility>
 #include <vector>
 
+#include "lf/chaos/chaos.h"
 #include "lf/instrument/counters.h"
 #include "lf/mem/tower.h"
 #include "lf/reclaim/epoch.h"
@@ -201,61 +203,28 @@ class FRSkipList {
 
   // ---- Dictionary operations (Insert_SL / Delete_SL / Search_SL) -------
 
+  // insert_checked distinguishes "key already present" from "allocation
+  // failed". A root allocation that throws is absorbed before anything is
+  // linked; an upper-level allocation that throws truncates the tower but
+  // the root IS in, so the insert still succeeded.
+  enum class InsertStatus { kInserted, kDuplicate, kNoMemory };
+
   bool insert(const Key& k, T value) {
-    [[maybe_unused]] auto guard = reclaimer_.guard();
-    auto [prev, next] = search_to_level<true>(k, 1);
-    if (node_eq(prev, k)) {
-      stats::tls().op_insert.inc();
-      return false;  // DUPLICATE_KEY
-    }
-    const int tower_height = tls_rng().tower_height(kMaxTowerHeight);
-    Node* root = Layout::template make_root<Node>(
-        tower_height, Node::Kind::kInterior, 1, k, std::move(value), nullptr,
-        nullptr);
-    Node* node = root;
-    int curr_v = 1;
-    for (;;) {
-      auto [new_prev, result] = insert_node(node, prev, next);
-      prev = new_prev;
-      if (result == InsertResult::kDuplicate) {
-        if (curr_v == 1) {
-          // Never published; nobody else can hold it.
-          Layout::free_unpublished_root(root);
-          stats::tls().op_insert.inc();
-          return false;
-        }
-        // A same-key tower exists at an upper level: only possible after
-        // our root was deleted and the key reinserted. Abandon the node
-        // (never linked): roll tower_top back to the highest linked node
-        // and release the reference taken before the attempt.
-        root->tower_top.store(node->down, std::memory_order_release);
-        Layout::free_unpublished_upper(node);
-        release_tower_ref(root);
-        break;
-      }
-      if (root->succ.load().mark) {
-        // Construction interrupted by a deletion of our root (Section 4).
-        // Remove the node we just linked above the (now superfluous) tower,
-        // then finish: the root WAS inserted, so we report success.
-        if (node != root) delete_node(prev, node);
-        break;
-      }
-      raise_top_hint(curr_v);
-      if (curr_v == tower_height) break;  // tower complete
-      ++curr_v;
-      Node* below = node;
-      // Announce the upcoming link BEFORE attempting it (see Node docs):
-      // while tower_alive includes this node, nobody can retire the tower,
-      // so pre-publishing tower_top is race-free. If the tower already died
-      // (count reached zero), it must NOT be resurrected: stop building.
-      if (!acquire_tower_ref(root)) break;
-      node = Layout::make_upper(root, curr_v, Node::Kind::kInterior, curr_v,
-                                k, T{}, below, root);
-      root->tower_top.store(node, std::memory_order_release);
-      std::tie(prev, next) = search_to_level<true>(k, curr_v);
-    }
-    stats::tls().op_insert.inc();
-    return true;
+    return insert_impl(k, std::move(value),
+                       tls_rng().tower_height(kMaxTowerHeight)) ==
+           InsertStatus::kInserted;
+  }
+
+  InsertStatus insert_checked(const Key& k, T value) {
+    return insert_impl(k, std::move(value),
+                       tls_rng().tower_height(kMaxTowerHeight));
+  }
+
+  // Test hook: insert with a chosen tower height instead of coin flips, so
+  // fault-injection tests can target a specific upper-level allocation.
+  InsertStatus insert_with_height(const Key& k, T value, int tower_height) {
+    assert(tower_height >= 1 && tower_height <= kMaxTowerHeight);
+    return insert_impl(k, std::move(value), tower_height);
   }
 
   bool erase(const Key& k) {
@@ -450,6 +419,95 @@ class FRSkipList {
  private:
   enum class InsertResult { kInserted, kDuplicate };
 
+  // Insert_SL with an explicit tower height (public insert draws it from
+  // the coin-flip rng; tests may pin it).
+  InsertStatus insert_impl(const Key& k, T value, const int tower_height) {
+    [[maybe_unused]] auto guard = reclaimer_.guard();
+    auto [prev, next] = search_to_level<true>(k, 1);
+    if (node_eq(prev, k)) {
+      stats::tls().op_insert.inc();
+      return InsertStatus::kDuplicate;  // DUPLICATE_KEY
+    }
+    Node* root = nullptr;
+    try {
+      root = Layout::template make_root<Node>(tower_height,
+                                              Node::Kind::kInterior, 1, k,
+                                              std::move(value), nullptr,
+                                              nullptr);
+    } catch (const std::bad_alloc&) {
+      stats::tls().op_insert.inc();
+      return InsertStatus::kNoMemory;  // nothing linked, nothing leaked
+    }
+    Node* node = root;
+    int curr_v = 1;
+    for (;;) {
+      auto [new_prev, result] = insert_node(node, prev, next);
+      prev = new_prev;
+      if (result == InsertResult::kDuplicate) {
+        if (curr_v == 1) {
+          // Never published; nobody else can hold it.
+          Layout::free_unpublished_root(root);
+          stats::tls().op_insert.inc();
+          return InsertStatus::kDuplicate;
+        }
+        // A same-key tower exists at an upper level: only possible after
+        // our root was deleted and the key reinserted. Abandon the node
+        // (never linked): roll tower_top back to the highest linked node
+        // and release the reference taken before the attempt.
+        root->tower_top.store(node->down, std::memory_order_release);
+        Layout::free_unpublished_upper(node);
+        release_tower_ref(root);
+        break;
+      }
+      if (root->succ.load().mark) {
+        // Construction interrupted by a deletion of our root (Section 4).
+        // Remove the node we just linked above the (now superfluous) tower,
+        // then finish: the root WAS inserted, so we report success.
+        if (node != root) delete_node(prev, node);
+        break;
+      }
+      raise_top_hint(curr_v);
+      if (curr_v == tower_height) break;  // tower complete
+      ++curr_v;
+      Node* below = node;
+      LF_CHAOS_POINT(kSkipTowerBuild);
+      // Announce the upcoming link BEFORE attempting it (see Node docs):
+      // while tower_alive includes this node, nobody can retire the tower,
+      // so pre-publishing tower_top is race-free. If the tower already died
+      // (count reached zero), it must NOT be resurrected: stop building.
+      if (!acquire_tower_ref(root)) break;
+      try {
+        node = Layout::make_upper(root, curr_v, Node::Kind::kInterior,
+                                  curr_v, k, T{}, below, root);
+      } catch (const std::bad_alloc&) {
+        // Out of memory above a linked root: give back the announced
+        // reference and stop with a truncated (still valid) tower.
+        release_tower_ref(root);
+        break;
+      }
+      root->tower_top.store(node, std::memory_order_release);
+      std::tie(prev, next) = search_to_level<true>(k, curr_v);
+    }
+    stats::tls().op_insert.inc();
+    return InsertStatus::kInserted;
+  }
+
+  // ---- Chaos instrumentation -------------------------------------------
+  // Same contract as FRList::chaos_cas: zero-cost passthrough when chaos
+  // is off; when on, an armed forced failure returns a view matching no
+  // caller pattern so the caller re-reads real state and recovers.
+  static View chaos_cas([[maybe_unused]] chaos::Site site, Succ& field,
+                        View expected, View desired) {
+#if LF_CHAOS
+    chaos::point(site);
+    if (chaos::force_cas_fail(site)) {
+      stats::tls().cas_attempt.inc();  // a failed attempt is still a step
+      return View{nullptr, true, false};
+    }
+#endif
+    return field.cas(expected, desired);
+  }
+
   // ---- ordering helpers (sentinels = -inf / +inf) -----------------------
   bool node_lt(const Node* n, const Key& k) const {
     if (n->kind == Node::Kind::kHead) return true;
@@ -537,6 +595,7 @@ class FRSkipList {
         c.next_update.inc();
       }
       if (!advances(next)) break;
+      LF_CHAOS_POINT(kSkipSearchStep);
       curr = next;
       c.curr_update.inc();
       // The hop is a dependent-load chain; start pulling in the next node's
@@ -550,10 +609,12 @@ class FRSkipList {
   // ---- level-local deletion machinery (Figures 3-5, per level) ----------
 
   void help_marked(Node* prev, Node* del) const {
+    LF_CHAOS_POINT(kSkipHelpMarked);
     stats::tls().help_marked.inc();
     Node* next = del->succ.load().right;
     const View result =
-        prev->succ.cas(View{del, false, true}, View{next, false, false});
+        chaos_cas(chaos::Site::kSkipUnlinkCas, prev->succ,
+                  View{del, false, true}, View{next, false, false});
     if (result == View{del, false, true}) {
       stats::tls().pdelete_cas.inc();
       release_tower_ref(del->tower_root);
@@ -583,6 +644,7 @@ class FRSkipList {
   }
 
   void help_flagged(Node* prev, Node* del) const {
+    LF_CHAOS_POINT(kSkipHelpFlagged);
     stats::tls().help_flagged.inc();
     del->backlink.store(prev, std::memory_order_release);
     if (!del->succ.load().mark) try_mark(del);
@@ -593,7 +655,8 @@ class FRSkipList {
     do {
       Node* next = del->succ.load().right;
       const View result =
-          del->succ.cas(View{next, false, false}, View{next, true, false});
+          chaos_cas(chaos::Site::kSkipMarkCas, del->succ,
+                    View{next, false, false}, View{next, true, false});
       if (result == View{next, false, false}) {
         stats::tls().mark_cas.inc();
       } else if (result.flag && !result.mark) {
@@ -614,8 +677,9 @@ class FRSkipList {
       if (prev->succ.load() == View{target, false, true}) {
         return {prev, FlagStatus::kIn, false};
       }
-      const View result = prev->succ.cas(View{target, false, false},
-                                         View{target, false, true});
+      const View result =
+          chaos_cas(chaos::Site::kSkipFlagCas, prev->succ,
+                    View{target, false, false}, View{target, false, true});
       if (result == View{target, false, false}) {
         c.flag_cas.inc();
         return {prev, FlagStatus::kIn, true};
@@ -625,6 +689,7 @@ class FRSkipList {
       }
       std::uint64_t chain = 0;
       while (prev->succ.load().mark) {
+        LF_CHAOS_POINT(kSkipBacklinkStep);
         c.backlink_traversal.inc();
         ++chain;
         prev = prev->backlink.load(std::memory_order_acquire);
@@ -658,7 +723,8 @@ class FRSkipList {
       } else {
         node->succ.store_unsynchronized(View{next, false, false});
         const View result =
-            prev->succ.cas(View{next, false, false}, View{node, false, false});
+            chaos_cas(chaos::Site::kSkipInsertCas, prev->succ,
+                      View{next, false, false}, View{node, false, false});
         if (result == View{next, false, false}) {
           c.insert_cas.inc();
           return {prev, InsertResult::kInserted};
@@ -668,6 +734,7 @@ class FRSkipList {
         }
         std::uint64_t chain = 0;
         while (prev->succ.load().mark) {
+          LF_CHAOS_POINT(kSkipBacklinkStep);
           c.backlink_traversal.inc();
           ++chain;
           prev = prev->backlink.load(std::memory_order_acquire);

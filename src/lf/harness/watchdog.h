@@ -1,0 +1,92 @@
+// Progress watchdog for multi-threaded runs.
+//
+// A livelocked or deadlocked workload used to hang until the CI job's
+// ceiling. The watchdog turns that into a fast, diagnosable failure: each
+// worker bumps a per-thread heartbeat as it completes operations, a
+// monitor thread samples the heartbeats, and any live (not done, not
+// deliberately parked) thread whose heartbeat stops moving for the stall
+// timeout triggers a dump of per-thread progress — and, when the chaos
+// layer is compiled in, each thread's current injection site, visit
+// streak, and backlink-walk depth — before aborting the run.
+//
+// The hot path is a single relaxed increment; the monitor owns all
+// clock reads.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace lf::harness {
+
+class Watchdog {
+ public:
+  struct Options {
+    std::chrono::milliseconds stall_timeout{120'000};
+    std::chrono::milliseconds poll_interval{250};
+    // Called with the dump when a stall is detected. The default writes
+    // the dump to stderr and calls std::abort() so CI fails in minutes,
+    // not hours. Tests install a handler instead of aborting.
+    std::function<void(const std::string&)> on_stall;
+  };
+
+  Watchdog(int threads, Options opts);
+  explicit Watchdog(int threads) : Watchdog(threads, Options{}) {}
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  // Hot path: thread `idx` made progress (completed an operation).
+  void beat(int idx) noexcept {
+    slots_[static_cast<std::size_t>(idx)].beats.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  // Thread `idx` finished its workload; it is no longer monitored.
+  void mark_done(int idx) noexcept {
+    slots_[static_cast<std::size_t>(idx)].done.store(
+        true, std::memory_order_release);
+  }
+
+  // Thread `idx` is parked on purpose (chaos crash injection); a stalled
+  // victim is the experiment, not a failure.
+  void mark_parked(int idx, bool parked = true) noexcept {
+    slots_[static_cast<std::size_t>(idx)].parked.store(
+        parked, std::memory_order_release);
+  }
+
+  // Stop monitoring (idempotent; the destructor calls it).
+  void stop();
+
+  bool stalled() const noexcept {
+    return stalled_.load(std::memory_order_acquire);
+  }
+
+  // The per-thread progress table the stall handler receives; exposed for
+  // tests and for callers that dump state on their own terms.
+  std::string dump() const;
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> beats{0};
+    std::atomic<bool> done{false};
+    std::atomic<bool> parked{false};
+  };
+
+  void monitor_loop();
+
+  std::unique_ptr<Slot[]> slots_;
+  int threads_;
+  Options opts_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> stalled_{false};
+  std::thread monitor_;
+};
+
+}  // namespace lf::harness

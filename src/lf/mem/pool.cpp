@@ -6,6 +6,8 @@
 #include <new>
 #include <vector>
 
+#include "lf/chaos/chaos.h"
+
 namespace lf::mem {
 namespace {
 
@@ -117,6 +119,12 @@ void shared_deallocate(void* p, std::size_t cls) {
 }  // namespace
 
 void* pool_allocate(std::size_t bytes) {
+  LF_CHAOS_POINT(kPoolAlloc);
+#if LF_CHAOS
+  // Injected OOM: throw before any pool state mutates, so callers observe
+  // exactly what a real allocation failure at the entry would produce.
+  if (chaos::should_fail_alloc(/*segment=*/false)) throw std::bad_alloc{};
+#endif
   SharedPool& s = shared();
   s.requests.fetch_add(1, std::memory_order_relaxed);
   if (bytes == 0) bytes = 1;
@@ -179,10 +187,23 @@ void* pool_allocate(std::size_t bytes) {
       b->next = c.freelists[fit];
       c.freelists[fit] = b;
     }
+    // From here to the end of the refill, every failure path must leave the
+    // thread cache fully consistent: the old bump region has already been
+    // chopped onto the freelists and bump/bump_end still describe an empty
+    // (exhausted) region, so throwing at any point below strands nothing.
+    LF_CHAOS_POINT(kPoolSegment);
+#if LF_CHAOS
+    if (chaos::should_fail_alloc(/*segment=*/true)) throw std::bad_alloc{};
+#endif
     void* seg = ::operator new(kSegmentBytes, std::align_val_t{kGranule});
-    {
+    try {
       std::lock_guard lock(s.mu);
       s.segments.push_back(seg);
+    } catch (...) {
+      // push_back threw (allocation of the registry's backing array): the
+      // segment is not yet owned by anyone — release it or it leaks.
+      ::operator delete(seg, std::align_val_t{kGranule});
+      throw;
     }
     s.segment_count.fetch_add(1, std::memory_order_relaxed);
     c.bump = static_cast<char*>(seg);
@@ -196,6 +217,7 @@ void* pool_allocate(std::size_t bytes) {
 
 void pool_deallocate(void* p, std::size_t bytes) {
   if (p == nullptr) return;
+  LF_CHAOS_POINT(kPoolFree);
   SharedPool& s = shared();
   if (bytes == 0) bytes = 1;
   if (bytes > kMaxPooledBytes) {

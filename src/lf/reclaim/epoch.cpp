@@ -4,6 +4,8 @@
 #include <cassert>
 #include <unordered_map>
 
+#include "lf/chaos/chaos.h"
+
 namespace lf::reclaim {
 namespace {
 
@@ -75,6 +77,7 @@ EpochDomain::Guard::Guard(EpochDomain& domain)
     : domain_(domain), ts_(&domain.thread_state()) {
   outermost_ = (ts_->pin_depth++ == 0);
   if (!outermost_) return;
+  LF_CHAOS_POINT(kEpochPin);  // before publishing: no lock held here
   // Publish (epoch, active) and verify the global did not move past us; this
   // loop is what makes the advertised epoch trustworthy to advancers.
   for (;;) {
@@ -99,6 +102,7 @@ EpochDomain::Guard::~Guard() {
 }
 
 void EpochDomain::retire_erased(void* object, void (*deleter)(void*)) {
+  LF_CHAOS_POINT(kEpochRetire);
   Guard pin(*this);  // keep our slot registered while touching its lists
   ThreadState& ts = *pin.ts_;
   // File under the CURRENT global epoch, not this thread's pinned epoch.
@@ -188,6 +192,8 @@ void EpochDomain::release_slot(ThreadState* ts) {
 }
 
 bool EpochDomain::try_advance() {
+  LF_CHAOS_POINT(kEpochAdvance);  // before the registry lock: parking a
+                                  // victim here must not block survivors
   const std::uint64_t e = global_epoch_->load(std::memory_order_seq_cst);
   std::lock_guard lock(registry_mu_);
   for (ThreadState* ts : slots_) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "lf/chaos/chaos.h"
+
 namespace lf::reclaim {
 namespace {
 
@@ -127,6 +129,7 @@ std::uint64_t HazardDomain::scan_threshold() const noexcept {
 }
 
 void HazardDomain::retire_erased(void* object, void (*deleter)(void*)) {
+  LF_CHAOS_POINT(kHazardRetire);
   ThreadSlots& rec = slots();
   rec.retired_ = new RetiredNode{object, deleter, rec.retired_};
   ++rec.retired_count_;
@@ -143,6 +146,7 @@ void HazardDomain::retire_erased(void* object, void (*deleter)(void*)) {
 void HazardDomain::scan() { scan_record(slots()); }
 
 void HazardDomain::scan_record(ThreadSlots& rec) {
+  LF_CHAOS_POINT(kHazardScan);  // entry, before any registry lock
   // Stage 1: adopt orphaned retire lists so garbage from exited threads is
   // not stranded.
   {

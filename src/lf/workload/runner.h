@@ -8,11 +8,14 @@
 #pragma once
 
 #include <barrier>
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "lf/core/set_traits.h"
+#include "lf/harness/watchdog.h"
 #include "lf/instrument/contention.h"
 #include "lf/instrument/counters.h"
 #include "lf/util/random.h"
@@ -32,6 +35,10 @@ struct RunConfig {
   std::uint64_t seed = 42;
   std::uint64_t prefill = 1024;  // successful inserts before measurement
   bool measure_contention = true;
+  // A worker that completes no operation for this long is declared stalled:
+  // the watchdog dumps per-thread progress (and chaos injection state when
+  // compiled in) and aborts instead of hanging CI. 0 disables the watchdog.
+  std::uint64_t watchdog_timeout_ms = 120'000;
 };
 
 struct RunResult {
@@ -98,6 +105,14 @@ RunResult run_workload(Set& set, const RunConfig& cfg) {
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(cfg.threads));
 
+  std::unique_ptr<harness::Watchdog> watchdog;
+  if (cfg.watchdog_timeout_ms > 0) {
+    harness::Watchdog::Options wopts;
+    wopts.stall_timeout = std::chrono::milliseconds(cfg.watchdog_timeout_ms);
+    watchdog =
+        std::make_unique<harness::Watchdog>(cfg.threads, std::move(wopts));
+  }
+
   const stats::Snapshot before = stats::aggregate();
   for (int t = 0; t < cfg.threads; ++t) {
     workers.emplace_back([&, t] {
@@ -115,7 +130,9 @@ RunResult run_workload(Set& set, const RunConfig& cfg) {
         } else {
           apply(set, op, k);
         }
+        if (watchdog) watchdog->beat(t);
       }
+      if (watchdog) watchdog->mark_done(t);
     });
   }
 

@@ -1,0 +1,450 @@
+// Fault-injection suite (built only with -DLF_CHAOS=ON).
+//
+// Three families of tests:
+//
+//   * DETERMINISTIC HELPING — forced CAS failures at named sites make the
+//     flag-helping, mark-helping and backlink-recovery paths run on
+//     demand, asserted through the paper's step counters instead of
+//     hoping a racy schedule produces them.
+//
+//   * CRASH MATRIX — for every injection site in FRList and FRSkipList,
+//     park a victim thread at that site mid-operation and verify the
+//     empirical lock-freedom claim: the surviving threads complete their
+//     whole workload, the structure stays coherent while the victim is
+//     parked, and after the victim is released exact-count semantics and
+//     all invariants hold.
+//
+//   * ALLOCATION FAILURE — a pool allocation (node, tower root, tower
+//     upper level, or fresh segment) that throws must surface as a clean
+//     error with nothing half-linked and nothing leaked.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <cstdio>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "lf/chaos/chaos.h"
+#include "lf/core/fr_list.h"
+#include "lf/core/fr_skiplist.h"
+#include "lf/harness/watchdog.h"
+#include "lf/instrument/counters.h"
+#include "lf/mem/pool.h"
+#include "lf/mem/tower.h"
+#include "lf/reclaim/leaky.h"
+#include "lf/util/random.h"
+
+static_assert(lf::chaos::kCompiledIn,
+              "chaos_test requires a -DLF_CHAOS=ON build");
+
+namespace {
+
+namespace chaos = lf::chaos;
+using namespace std::chrono_literals;
+using Site = chaos::Site;
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { chaos::reset(); }
+  void TearDown() override { chaos::reset(); }
+};
+
+// ---- Deterministic helping: FRList --------------------------------------
+
+TEST_F(ChaosTest, ListForcedInsertCasRetriesUntilDisarmed) {
+  lf::FRList<long, long> list;
+  chaos::arm_cas_failures(Site::kListInsertCas, 3);
+  const auto before = lf::stats::aggregate();
+  EXPECT_TRUE(list.insert(7, 7));
+  const auto delta = lf::stats::aggregate() - before;
+  EXPECT_EQ(chaos::forced_cas_failures(Site::kListInsertCas), 3u);
+  // 3 forced failures + the real one that lands.
+  EXPECT_EQ(chaos::site_hits(Site::kListInsertCas), 4u);
+  EXPECT_EQ(delta.insert_cas, 1u);  // exactly one successful insertion C&S
+  EXPECT_TRUE(list.contains(7));
+  EXPECT_TRUE(list.validate().ok);
+}
+
+TEST_F(ChaosTest, ListForcedUnlinkRunsMarkHelpingViaSearch) {
+  // Force the deleter's own unlink C&S to fail: the erase still succeeds
+  // (marking is the linearization point) but leaves the node marked with
+  // its predecessor flagged. The next search must run HelpMarked — the
+  // mark-helping path — and physically delete it.
+  lf::FRList<long, long> list;
+  for (long k : {1, 2, 3}) ASSERT_TRUE(list.insert(k, k));
+  chaos::arm_cas_failures(Site::kListUnlinkCas, 1);
+  const auto before = lf::stats::aggregate();
+  EXPECT_TRUE(list.erase(2));
+  auto delta = lf::stats::aggregate() - before;
+  EXPECT_EQ(delta.pdelete_cas, 0u);  // physical deletion was forced to fail
+  EXPECT_EQ(chaos::forced_cas_failures(Site::kListUnlinkCas), 1u);
+  // The key is logically gone even though the node is still linked.
+  EXPECT_FALSE(list.contains(2));
+  // That contains() ran into the marked node and helped: physical deletion
+  // completed by the mark-helping path, not by the deleter.
+  delta = lf::stats::aggregate() - before;
+  EXPECT_GE(delta.help_marked, 1u);
+  EXPECT_EQ(delta.pdelete_cas, 1u);
+  EXPECT_GE(chaos::site_hits(Site::kListHelpMarked), 1u);
+  EXPECT_TRUE(list.validate().ok);
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST_F(ChaosTest, ListStalledFlagRunsFlagHelpingDeterministically) {
+  // Flag-helping path: a deleter stalls right after placing the flag
+  // (erase_begin); an insert that lands on the flagged predecessor must
+  // help the whole deletion to completion before inserting.
+  lf::FRList<long, long> list;
+  for (long k : {10, 20, 30}) ASSERT_TRUE(list.insert(k, k));
+  typename lf::FRList<long, long>::StalledErase st;
+  ASSERT_TRUE(list.erase_begin(20, st));  // flag placed, then "stall"
+  const auto before = lf::stats::aggregate();
+  EXPECT_TRUE(list.insert(15, 15));  // prev = node 10, which is flagged
+  const auto delta = lf::stats::aggregate() - before;
+  EXPECT_GE(delta.help_flagged, 1u);
+  EXPECT_GE(delta.mark_cas + delta.pdelete_cas, 1u);  // helper finished it
+  EXPECT_GE(chaos::site_hits(Site::kListHelpFlagged), 1u);
+  EXPECT_FALSE(list.contains(20));  // helper completed the deletion
+  EXPECT_TRUE(list.contains(15));
+  EXPECT_TRUE(list.erase_finish(st));  // stalled deleter still owns the win
+  EXPECT_TRUE(list.validate().ok);
+}
+
+TEST_F(ChaosTest, ListForcedFlagAndMarkCasRetry) {
+  lf::FRList<long, long> list;
+  for (long k : {1, 2}) ASSERT_TRUE(list.insert(k, k));
+  chaos::arm_cas_failures(Site::kListFlagCas, 2);
+  chaos::arm_cas_failures(Site::kListMarkCas, 2);
+  EXPECT_TRUE(list.erase(1));
+  EXPECT_EQ(chaos::forced_cas_failures(Site::kListFlagCas), 2u);
+  EXPECT_EQ(chaos::forced_cas_failures(Site::kListMarkCas), 2u);
+  EXPECT_EQ(chaos::site_hits(Site::kListFlagCas), 3u);
+  EXPECT_FALSE(list.contains(1));
+  EXPECT_TRUE(list.validate().ok);
+}
+
+TEST_F(ChaosTest, ListBacklinkRecoveryDeterministic) {
+  // The paper's recovery path, on demand: locate an insert position, have
+  // the predecessor deleted, then complete the insert. The inserter's C&S
+  // fails on the marked predecessor and must walk its backlink instead of
+  // restarting. Leaky reclamation keeps the deleted node valid across the
+  // two phases.
+  using List = lf::FRList<long, long, std::less<long>,
+                          lf::reclaim::LeakyReclaimer>;
+  List list;
+  ASSERT_TRUE(list.insert(10, 10));
+  ASSERT_TRUE(list.insert(20, 20));
+  typename List::InsertCursor cur;
+  ASSERT_TRUE(list.insert_locate(15, 15, cur));  // prev = node 10
+  ASSERT_TRUE(list.erase(10));                   // prev is now marked
+  const auto before = lf::stats::aggregate();
+  const std::uint64_t backlink_hits_before =
+      chaos::site_hits(Site::kListBacklinkStep);
+  EXPECT_TRUE(list.insert_complete(cur));
+  const auto delta = lf::stats::aggregate() - before;
+  EXPECT_GE(delta.backlink_traversal, 1u);
+  EXPECT_GE(chaos::site_hits(Site::kListBacklinkStep),
+            backlink_hits_before + 1);
+  EXPECT_TRUE(list.contains(15));
+  EXPECT_FALSE(list.contains(10));
+  EXPECT_TRUE(list.validate().ok);
+}
+
+// ---- Deterministic helping: FRSkipList -----------------------------------
+
+TEST_F(ChaosTest, SkipForcedInsertCasRetriesUntilDisarmed) {
+  lf::FRSkipList<long, long> s;
+  chaos::arm_cas_failures(Site::kSkipInsertCas, 2);
+  EXPECT_TRUE(s.insert(5, 5));
+  EXPECT_EQ(chaos::forced_cas_failures(Site::kSkipInsertCas), 2u);
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_TRUE(s.validate().ok);
+}
+
+TEST_F(ChaosTest, SkipForcedUnlinkRunsSuperfluousHelpingViaSearch) {
+  lf::FRSkipList<long, long> s;
+  for (long k : {1, 2, 3}) ASSERT_TRUE(s.insert(k, k));
+  chaos::arm_cas_failures(Site::kSkipUnlinkCas, 1);
+  const auto before = lf::stats::aggregate();
+  EXPECT_TRUE(s.erase(2));
+  EXPECT_EQ(chaos::forced_cas_failures(Site::kSkipUnlinkCas), 1u);
+  EXPECT_FALSE(s.contains(2));  // superfluous tower helped out of the way
+  const auto delta = lf::stats::aggregate() - before;
+  EXPECT_GE(delta.help_marked, 1u);
+  EXPECT_GE(delta.pdelete_cas, 1u);
+  EXPECT_TRUE(s.validate().ok);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST_F(ChaosTest, SkipForcedFlagAndMarkCasRetry) {
+  lf::FRSkipList<long, long> s;
+  for (long k : {1, 2}) ASSERT_TRUE(s.insert(k, k));
+  chaos::arm_cas_failures(Site::kSkipFlagCas, 2);
+  chaos::arm_cas_failures(Site::kSkipMarkCas, 2);
+  EXPECT_TRUE(s.erase(1));
+  EXPECT_EQ(chaos::forced_cas_failures(Site::kSkipFlagCas), 2u);
+  EXPECT_EQ(chaos::forced_cas_failures(Site::kSkipMarkCas), 2u);
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_TRUE(s.validate().ok);
+}
+
+// ---- Crash-thread matrix --------------------------------------------------
+//
+// Empirical lock-freedom: park a victim at the given site mid-operation;
+// survivors must finish their entire workloads regardless. Exact-count
+// semantics are checked in two stages: while the victim is parked its one
+// in-flight operation may or may not have linearized (|size - net| <= 1);
+// after release and join, counts must match exactly and every invariant
+// must hold.
+template <typename Set>
+void run_crash_site(Site site) {
+  SCOPED_TRACE(chaos::site_name(site));
+  chaos::reset();
+  Set set;
+  std::atomic<long> net{0};
+  for (long k = 0; k < 16; k += 2) {
+    if (set.insert(k, k)) net.fetch_add(1);
+  }
+
+  constexpr int kWorkers = 4;
+  constexpr int kOps = 3000;
+  chaos::arm_crash(site, 1);
+
+  lf::harness::Watchdog::Options wopts;
+  wopts.stall_timeout = 60s;  // survivors stalling = lock-freedom broken
+  wopts.poll_interval = 100ms;
+  lf::harness::Watchdog dog(kWorkers, wopts);
+
+  std::atomic<bool> victim_done{false};
+  std::barrier start(kWorkers);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kWorkers; ++t) {
+    workers.emplace_back([&, t] {
+      chaos::set_thread_tag(t);
+      chaos::set_thread_role(t == 0 ? chaos::Role::kVictim
+                                    : chaos::Role::kSurvivor);
+      lf::Xoshiro256 rng(0xc0ffee + static_cast<std::uint64_t>(t) * 7919);
+      start.arrive_and_wait();
+      for (int i = 0; i < kOps; ++i) {
+        const long k = static_cast<long>(rng.below(16));
+        if (rng.below(2) == 0) {
+          // net is updated immediately after each op so the main thread
+          // can bound the count drift while the victim sits parked.
+          if (set.insert(k, k)) net.fetch_add(1);
+        } else {
+          if (set.erase(k)) net.fetch_sub(1);
+        }
+        dog.beat(t);
+      }
+      dog.mark_done(t);
+      chaos::set_thread_role(chaos::Role::kDefault);
+      if (t == 0) victim_done.store(true, std::memory_order_release);
+    });
+  }
+
+  // Wait until the victim either parks at the armed site or finishes its
+  // workload without ever hitting it (possible for rarely-taken sites).
+  while (!chaos::parked() && !victim_done.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(2ms);
+  }
+  const bool parked = chaos::parked();
+  if (parked) {
+    EXPECT_EQ(chaos::parked_tag(), 0);
+    dog.mark_parked(0);
+  }
+
+  // Lock-freedom: survivors complete their full workloads with the victim
+  // frozen mid-operation (the watchdog aborts the run if they stall).
+  for (int t = 1; t < kWorkers; ++t) workers[static_cast<std::size_t>(t)].join();
+
+  if (parked) {
+    // Structure coherence with a thread frozen mid-protocol: traversal
+    // terminates and the count drifts by at most the victim's one
+    // in-flight operation. (Full validation must wait — a half-finished
+    // deletion legitimately leaves a marked node linked.)
+    const long sz = static_cast<long>(set.size());
+    const long drift = sz - net.load();
+    EXPECT_LE(drift <= 0 ? -drift : drift, 1) << "size " << sz;
+    chaos::release_parked();
+  }
+  workers[0].join();
+
+  // Quiescent again: exact counts and every invariant.
+  EXPECT_EQ(set.size(), static_cast<std::size_t>(net.load()));
+  const auto rep = set.validate();
+  EXPECT_TRUE(rep.ok) << rep.error;
+  EXPECT_FALSE(dog.stalled());
+  dog.stop();
+}
+
+TEST_F(ChaosTest, CrashMatrixFRList) {
+  for (Site site : {Site::kListSearchStep, Site::kListInsertCas,
+                    Site::kListFlagCas, Site::kListMarkCas,
+                    Site::kListUnlinkCas, Site::kListBacklinkStep,
+                    Site::kListHelpFlagged, Site::kListHelpMarked}) {
+    run_crash_site<lf::FRList<long, long>>(site);
+  }
+}
+
+TEST_F(ChaosTest, CrashMatrixFRSkipList) {
+  for (Site site : {Site::kSkipSearchStep, Site::kSkipInsertCas,
+                    Site::kSkipFlagCas, Site::kSkipMarkCas,
+                    Site::kSkipUnlinkCas, Site::kSkipBacklinkStep,
+                    Site::kSkipHelpFlagged, Site::kSkipHelpMarked,
+                    Site::kSkipTowerBuild}) {
+    run_crash_site<lf::FRSkipList<long, long>>(site);
+  }
+}
+
+// Crash inside the reclaimers' entry points: survivors keep operating (the
+// epoch stops advancing, which defers reclamation but never blocks).
+TEST_F(ChaosTest, CrashInEpochRetireDoesNotBlockSurvivors) {
+  run_crash_site<lf::FRList<long, long>>(Site::kEpochRetire);
+}
+
+// ---- Allocation-failure injection ----------------------------------------
+
+TEST_F(ChaosTest, ListInsertSurfacesAllocFailureCleanly) {
+  using List = lf::FRList<long, long>;
+  List list;
+  ASSERT_TRUE(list.insert(1, 1));
+  chaos::arm_alloc_failure(1);  // next pooled allocation throws
+  EXPECT_EQ(list.insert_checked(2, 2), List::InsertStatus::kNoMemory);
+  EXPECT_EQ(chaos::alloc_failures_injected(), 1u);
+  // Nothing half-linked: the structure is intact and the key insertable.
+  EXPECT_FALSE(list.contains(2));
+  EXPECT_TRUE(list.validate().ok);
+  EXPECT_EQ(list.insert_checked(2, 2), List::InsertStatus::kInserted);
+  EXPECT_EQ(list.insert_checked(2, 2), List::InsertStatus::kDuplicate);
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST_F(ChaosTest, SkipRootAllocFailureSurfacesCleanly) {
+  using Skip = lf::FRSkipList<long, long>;
+  Skip s;
+  ASSERT_TRUE(s.insert(1, 1));
+  chaos::arm_alloc_failure(1);
+  EXPECT_EQ(s.insert_checked(2, 2), Skip::InsertStatus::kNoMemory);
+  EXPECT_FALSE(s.contains(2));
+  EXPECT_TRUE(s.validate().ok);
+  EXPECT_EQ(s.insert_checked(2, 2), Skip::InsertStatus::kInserted);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST_F(ChaosTest, SkipUpperLevelAllocFailureTruncatesTower) {
+  // Chained towers allocate per level, so the 2nd pooled allocation after
+  // arming is the level-2 node of a height-3 tower: the root is already
+  // linked, so the insert SUCCEEDS with a truncated (height-1) tower.
+  using Skip = lf::FRSkipList<long, long, std::less<long>,
+                              lf::reclaim::EpochReclaimer, 24,
+                              lf::mem::PooledChainedTowers>;
+  Skip s;
+  chaos::arm_alloc_failure(2);
+  EXPECT_EQ(s.insert_with_height(5, 5, 3), Skip::InsertStatus::kInserted);
+  EXPECT_EQ(chaos::alloc_failures_injected(), 1u);
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_TRUE(s.validate().ok);
+  EXPECT_TRUE(s.erase(5));  // the truncated tower deletes normally
+  EXPECT_TRUE(s.validate().ok);
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST_F(ChaosTest, SegmentCarveFailureSurfacesAsBadAlloc) {
+  // With the next segment carve armed to fail, allocate max-class blocks
+  // in a fresh thread until its cache AND the shared freelist (donations
+  // from every previously exited thread) are drained; the carve that must
+  // follow throws, and the pool is left consistent — the retry after
+  // disarming carves a real segment and succeeds.
+  chaos::arm_segment_failure(1);
+  std::atomic<bool> threw{false};
+  std::thread t([&] {
+    std::vector<void*> blocks;
+    try {
+      // Bounded far above anything freelists + one bump region can hold.
+      for (int i = 0; i < 200'000; ++i)
+        blocks.push_back(lf::mem::pool_allocate(4096));
+    } catch (const std::bad_alloc&) {
+      threw.store(true);
+      void* p = lf::mem::pool_allocate(4096);  // disarmed: must succeed
+      EXPECT_NE(p, nullptr);
+      lf::mem::pool_deallocate(p, 4096);
+    }
+    for (void* p : blocks) lf::mem::pool_deallocate(p, 4096);
+  });
+  t.join();
+  EXPECT_TRUE(threw.load());
+  EXPECT_EQ(chaos::alloc_failures_injected(), 1u);
+}
+
+// ---- PCT-style scheduling -------------------------------------------------
+
+TEST_F(ChaosTest, ScheduledChurnKeepsExactCounts) {
+  // Randomized-priority perturbation at every injection point; the
+  // structure must hold exact-count semantics under the induced schedules
+  // exactly as it does under plain yield fuzzing.
+  chaos::enable_scheduling(/*seed=*/0xfeedface, /*yield_permille=*/60,
+                           /*delay_us=*/30, /*reshuffle_period=*/512);
+  lf::FRList<long, long> list;
+  std::atomic<long> net{0};
+  constexpr int kWorkers = 4;
+  std::barrier start(kWorkers);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kWorkers; ++t) {
+    workers.emplace_back([&, t] {
+      chaos::set_thread_tag(t);
+      lf::Xoshiro256 rng(0xabc + static_cast<std::uint64_t>(t) * 31);
+      long local = 0;
+      start.arrive_and_wait();
+      for (int i = 0; i < 2000; ++i) {
+        const long k = static_cast<long>(rng.below(32));
+        switch (rng.below(3)) {
+          case 0:
+            if (list.insert(k, k)) ++local;
+            break;
+          case 1:
+            if (list.erase(k)) --local;
+            break;
+          default:
+            list.contains(k);
+        }
+      }
+      net.fetch_add(local);
+    });
+  }
+  for (auto& w : workers) w.join();
+  chaos::disable_scheduling();
+  EXPECT_EQ(list.size(), static_cast<std::size_t>(net.load()));
+  EXPECT_TRUE(list.validate().ok);
+  EXPECT_GT(chaos::site_hits(Site::kListInsertCas), 0u);
+  EXPECT_GT(chaos::site_hits(Site::kListSearchStep), 0u);
+}
+
+// ---- Introspection --------------------------------------------------------
+
+TEST_F(ChaosTest, ThreadReportsAndSiteNames) {
+  for (int i = 0; i < chaos::kSiteCount; ++i) {
+    const char* name = chaos::site_name(static_cast<Site>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "<invalid-site>") << "site " << i;
+  }
+  EXPECT_STREQ(chaos::site_name(Site::kNumSites), "<invalid-site>");
+
+  lf::FRList<long, long> list;
+  chaos::set_thread_tag(42);
+  list.insert(1, 1);
+  const auto reports = chaos::thread_reports();
+  bool found = false;
+  for (const auto& r : reports) {
+    if (r.tag == 42) {
+      found = true;
+      EXPECT_GT(r.points, 0u);
+      EXPECT_FALSE(r.parked);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace

@@ -1,13 +1,17 @@
-// Schedule fuzzing: concurrent churn with randomly injected yields.
+// Schedule fuzzing: concurrent churn with seeded yield injection.
 //
 // On a single-core host, threads are preempted only at timeslice
-// boundaries, so most tests exercise few interleavings. Injecting
-// std::this_thread::yield() at random points between operations (and the
-// OS moving threads at those points) multiplies the schedules covered —
-// crucially including switches in the middle of multi-C&S sequences left
-// half-done, which is exactly where the paper's helping machinery must
-// take over. Every structure must hold its invariants and exact-count
-// semantics under any such schedule.
+// boundaries, so most tests exercise few interleavings. Injecting yields
+// at operation boundaries (and the OS moving threads at those points)
+// multiplies the schedules covered — crucially including switches in the
+// middle of multi-C&S sequences left half-done, which is exactly where
+// the paper's helping machinery must take over. Every structure must hold
+// its invariants and exact-count semantics under any such schedule.
+//
+// Yields are routed through chaos::YieldInjector: deterministic per seed
+// in every build, and in a -DLF_CHAOS=ON build each boundary additionally
+// registers as a kOpBoundary injection point, so the PCT scheduler (when
+// a test arms it) perturbs these workloads too.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -15,18 +19,21 @@
 #include <thread>
 #include <vector>
 
+#include "lf/chaos/chaos.h"
 #include "lf/core/fr_list.h"
 #include "lf/core/fr_list_noflag.h"
 #include "lf/core/fr_list_rc.h"
 #include "lf/core/fr_skiplist.h"
+#include "lf/core/fr_skiplist_rc.h"
+#include "lf/mem/tower.h"
 #include "lf/util/random.h"
 
 namespace {
 
 constexpr int kThreads = 4;
 
-// Churn with yield injection; returns the net number of keys that should
-// remain (tracked exactly via per-op results).
+// Churn with yield injection; accumulates into `net` the net number of
+// keys that should remain (tracked exactly via per-op results).
 template <typename Set>
 void fuzz_churn(Set& set, std::uint64_t seed, int ops_per_thread,
                 std::uint64_t key_space, std::atomic<long>& net) {
@@ -35,10 +42,12 @@ void fuzz_churn(Set& set, std::uint64_t seed, int ops_per_thread,
   for (int t = 0; t < kThreads; ++t) {
     workers.emplace_back([&, t] {
       lf::Xoshiro256 rng(seed + static_cast<std::uint64_t>(t) * 131);
+      lf::chaos::YieldInjector fuzz(seed * 977 +
+                                    static_cast<std::uint64_t>(t));
       long local_net = 0;
       start.arrive_and_wait();
       for (int i = 0; i < ops_per_thread; ++i) {
-        if (rng.below(4) == 0) std::this_thread::yield();  // fuzz point
+        fuzz.op_boundary();
         const long k = static_cast<long>(rng.below(key_space));
         switch (rng.below(3)) {
           case 0:
@@ -50,7 +59,7 @@ void fuzz_churn(Set& set, std::uint64_t seed, int ops_per_thread,
           default:
             set.contains(k);
         }
-        if (rng.below(8) == 0) std::this_thread::yield();  // fuzz point
+        fuzz.op_boundary();
       }
       net.fetch_add(local_net);
     });
@@ -68,18 +77,6 @@ TEST(ScheduleFuzz, FRListExactCountsUnderYields) {
     EXPECT_EQ(list.size(), static_cast<std::size_t>(net.load()))
         << "seed " << seed;
     const auto rep = list.validate();
-    EXPECT_TRUE(rep.ok) << "seed " << seed << ": " << rep.error;
-  }
-}
-
-TEST(ScheduleFuzz, FRSkipListExactCountsUnderYields) {
-  for (std::uint64_t seed : {44u, 555u, 6666u}) {
-    lf::FRSkipList<long, long> s;
-    std::atomic<long> net{0};
-    fuzz_churn(s, seed, 6000, 64, net);
-    EXPECT_EQ(s.size(), static_cast<std::size_t>(net.load()))
-        << "seed " << seed;
-    const auto rep = s.validate();
     EXPECT_TRUE(rep.ok) << "seed " << seed << ": " << rep.error;
   }
 }
@@ -107,6 +104,57 @@ TEST(ScheduleFuzz, FRListRCExactCountsAndAccountingUnderYields) {
   }
 }
 
+TEST(ScheduleFuzz, FRSkipListRCExactCountsAndAccountingUnderYields) {
+  for (std::uint64_t seed : {1212u, 2323u}) {
+    lf::FRSkipListRC<long, long> s;
+    std::atomic<long> net{0};
+    fuzz_churn(s, seed, 5000, 64, net);
+    EXPECT_EQ(s.size(), static_cast<std::size_t>(net.load()))
+        << "seed " << seed;
+    // Arena accounting: every node ever allocated is free, linked, or a
+    // sentinel — no leak and no double-free under any schedule.
+    EXPECT_TRUE(s.validate_accounting()) << "seed " << seed;
+  }
+}
+
+// All four memory-layout/allocator combinations from the cache-conscious
+// memory layer must survive schedule fuzzing identically: layout must not
+// change semantics, only placement.
+template <typename Layout>
+struct SkipListLayoutFuzz : ::testing::Test {};
+
+using AllLayouts =
+    ::testing::Types<lf::mem::ChainedTowers, lf::mem::PooledChainedTowers,
+                     lf::mem::FlatTowers, lf::mem::FlatTowersHeap>;
+
+class LayoutNames {
+ public:
+  template <typename Layout>
+  static std::string GetName(int) {
+    // Layout::kName contains '/', which gtest forbids in test names.
+    std::string n = Layout::kName;
+    for (char& c : n)
+      if (c == '/') c = '_';
+    return n;
+  }
+};
+
+TYPED_TEST_SUITE(SkipListLayoutFuzz, AllLayouts, LayoutNames);
+
+TYPED_TEST(SkipListLayoutFuzz, ExactCountsUnderYields) {
+  for (std::uint64_t seed : {44u, 555u, 6666u}) {
+    lf::FRSkipList<long, long, std::less<long>, lf::reclaim::EpochReclaimer,
+                   24, TypeParam>
+        s;
+    std::atomic<long> net{0};
+    fuzz_churn(s, seed, 6000, 64, net);
+    EXPECT_EQ(s.size(), static_cast<std::size_t>(net.load()))
+        << "seed " << seed;
+    const auto rep = s.validate();
+    EXPECT_TRUE(rep.ok) << "seed " << seed << ": " << rep.error;
+  }
+}
+
 TEST(ScheduleFuzz, HotTwoKeyDuel) {
   // The tightest possible conflict: four threads fight over TWO adjacent
   // keys with constant insert/erase, maximizing flag/mark/backlink
@@ -116,6 +164,14 @@ TEST(ScheduleFuzz, HotTwoKeyDuel) {
   fuzz_churn(list, 31337, 12000, 2, net);
   EXPECT_EQ(list.size(), static_cast<std::size_t>(net.load()));
   EXPECT_TRUE(list.validate().ok);
+}
+
+TEST(ScheduleFuzz, HotTwoKeyDuelSkipList) {
+  lf::FRSkipList<long, long> s;
+  std::atomic<long> net{0};
+  fuzz_churn(s, 31338, 9000, 2, net);
+  EXPECT_EQ(s.size(), static_cast<std::size_t>(net.load()));
+  EXPECT_TRUE(s.validate().ok);
 }
 
 }  // namespace

@@ -1,0 +1,97 @@
+// Unit tests for the progress watchdog (compiled in every build mode).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "lf/harness/watchdog.h"
+
+namespace {
+
+using namespace std::chrono_literals;
+using lf::harness::Watchdog;
+
+Watchdog::Options fast_opts(std::atomic<bool>& fired, std::string& report) {
+  Watchdog::Options o;
+  o.stall_timeout = 300ms;
+  o.poll_interval = 50ms;
+  o.on_stall = [&](const std::string& r) {
+    report = r;
+    fired.store(true);
+  };
+  return o;
+}
+
+TEST(Watchdog, NoStallWhileBeating) {
+  std::atomic<bool> fired{false};
+  std::string report;
+  Watchdog dog(2, fast_opts(fired, report));
+  for (int i = 0; i < 20; ++i) {
+    dog.beat(0);
+    dog.beat(1);
+    std::this_thread::sleep_for(40ms);
+  }
+  dog.mark_done(0);
+  dog.mark_done(1);
+  dog.stop();
+  EXPECT_FALSE(fired.load());
+  EXPECT_FALSE(dog.stalled());
+}
+
+TEST(Watchdog, DetectsSilentThread) {
+  std::atomic<bool> fired{false};
+  std::string report;
+  Watchdog dog(2, fast_opts(fired, report));
+  // Thread 1 beats; thread 0 never does.
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (!fired.load() && std::chrono::steady_clock::now() < deadline) {
+    dog.beat(1);
+    std::this_thread::sleep_for(25ms);
+  }
+  dog.stop();
+  ASSERT_TRUE(fired.load());
+  EXPECT_TRUE(dog.stalled());
+  EXPECT_NE(report.find("thread 0"), std::string::npos) << report;
+  EXPECT_NE(report.find("no progress"), std::string::npos) << report;
+}
+
+TEST(Watchdog, DoneThreadsAreNotMonitored) {
+  std::atomic<bool> fired{false};
+  std::string report;
+  Watchdog dog(1, fast_opts(fired, report));
+  dog.mark_done(0);
+  std::this_thread::sleep_for(600ms);
+  dog.stop();
+  EXPECT_FALSE(fired.load());
+}
+
+TEST(Watchdog, ParkedThreadsAreNotStalls) {
+  // A chaos-parked victim is the experiment, not a failure.
+  std::atomic<bool> fired{false};
+  std::string report;
+  Watchdog dog(1, fast_opts(fired, report));
+  dog.mark_parked(0);
+  std::this_thread::sleep_for(600ms);
+  dog.stop();
+  EXPECT_FALSE(fired.load());
+}
+
+TEST(Watchdog, DumpListsEveryThread) {
+  std::atomic<bool> fired{false};
+  std::string report;
+  Watchdog dog(3, fast_opts(fired, report));
+  dog.beat(1);
+  dog.beat(1);
+  dog.mark_done(2);
+  const std::string d = dog.dump();
+  dog.mark_done(0);
+  dog.mark_done(1);
+  dog.stop();
+  EXPECT_NE(d.find("thread 0: beats=0"), std::string::npos) << d;
+  EXPECT_NE(d.find("thread 1: beats=2"), std::string::npos) << d;
+  EXPECT_NE(d.find("thread 2: beats=0 done"), std::string::npos) << d;
+}
+
+}  // namespace
