@@ -1,0 +1,217 @@
+// E13 — finger search: the thread-local hint layer (DESIGN.md §10) against
+// head-started searches, on the workloads it was built for.
+//
+// Matrix: {finger on, finger off} x {flat, chained} tower layout, at 1, 8
+// and 16 threads, on three key streams:
+//
+//   * zipf-0.99   — Zipfian popularity with SCRAMBLED positions (the raw
+//                   generator puts hot keys at the left edge of the key
+//                   space, where a head start is already nearly optimal —
+//                   scrambling keeps the skew but moves it off the edge).
+//   * repeat-range — scan-like locality: a narrow window of keys reused for
+//                   a few hundred operations before jumping.
+//   * uniform     — the control: no locality to exploit, so the finger's
+//                   validation overhead is all that can show up (< a few
+//                   percent, or the layer is mispriced).
+//
+// The claim under test (ISSUE acceptance): on the localized streams the
+// finger-enabled skip list does >= 20% fewer essential steps/op and less
+// wall-clock per op than finger-off at every thread count, while uniform
+// regresses < 3%. On this repo's single-core CI host the multi-thread
+// wall-clock rows measure oversubscribed scheduling, not parallelism —
+// steps/op is the schedule-independent headline (see EXPERIMENTS.md).
+//
+// Output: tables plus machine-readable BENCH_finger.json.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lf/core/fr_skiplist.h"
+#include "lf/harness/bench_env.h"
+#include "lf/harness/json_writer.h"
+#include "lf/harness/table.h"
+#include "lf/instrument/counters.h"
+#include "lf/mem/tower.h"
+#include "lf/reclaim/epoch.h"
+#include "lf/sync/finger.h"
+#include "lf/workload/runner.h"
+
+namespace {
+
+using lf::harness::Table;
+namespace wl = lf::workload;
+
+template <typename Layout, typename Finger>
+using Skip = lf::FRSkipList<long, long, std::less<long>,
+                            lf::reclaim::EpochReclaimer, 24, Layout, Finger>;
+
+constexpr std::uint64_t kKeySpace = 4096;
+constexpr std::uint64_t kPrefill = 2048;
+constexpr std::uint64_t kOpsTotal = 240'000;
+
+struct Workload {
+  const char* name;
+  wl::KeyDist dist;
+  wl::KeyGen::Options opts;
+};
+
+const Workload kWorkloads[] = {
+    {"zipf-0.99", wl::KeyDist::kZipfian, {.scramble = true}},
+    {"repeat-range", wl::KeyDist::kRepeatedRange,
+     {.range_width = 64, .range_dwell = 256}},
+    {"uniform", wl::KeyDist::kUniform, {}},
+};
+
+struct Row {
+  std::string layout;
+  bool finger = false;
+  std::string workload;
+  int threads = 0;
+  double mops = 0;
+  double ns_per_op = 0;
+  double steps_per_op = 0;
+  double hit_rate = 0;
+  double skip_per_op = 0;
+};
+
+template <typename Layout, typename Finger>
+Row run_one(const char* layout_name, bool finger_on, const Workload& w,
+            int threads) {
+  wl::RunConfig cfg;
+  cfg.threads = threads;
+  cfg.ops_per_thread = kOpsTotal / static_cast<std::uint64_t>(threads);
+  cfg.key_space = kKeySpace;
+  cfg.prefill = kPrefill;
+  cfg.mix = {10, 10};  // 10i/10d/80s, the read-leaning standard grid point
+  cfg.dist = w.dist;
+  cfg.keygen = w.opts;
+  cfg.seed = 0xf168e4;
+  cfg.measure_contention = false;
+
+  Skip<Layout, Finger> set;
+  wl::prefill(set, cfg);
+  const auto res = wl::run_workload(set, cfg);
+
+  Row r;
+  r.layout = layout_name;
+  r.finger = finger_on;
+  r.workload = w.name;
+  r.threads = threads;
+  r.mops = res.mops_per_sec();
+  r.ns_per_op = res.total_ops == 0
+                    ? 0
+                    : res.seconds * 1e9 / static_cast<double>(res.total_ops);
+  r.steps_per_op = res.steps_per_op();
+  r.hit_rate = res.steps.finger_hit_rate();
+  r.skip_per_op = static_cast<double>(res.steps.finger_skip) /
+                  static_cast<double>(res.total_ops);
+  lf::reclaim::EpochDomain::global().drain();
+  return r;
+}
+
+template <typename Layout>
+void run_layout(const char* layout_name, std::vector<Row>& rows) {
+  for (const Workload& w : kWorkloads) {
+    for (int threads : {1, 8, 16}) {
+      rows.push_back(run_one<Layout, lf::sync::FingerOff>(layout_name, false,
+                                                          w, threads));
+      rows.push_back(
+          run_one<Layout, lf::sync::FingerOn>(layout_name, true, w, threads));
+    }
+  }
+}
+
+const Row* find_row(const std::vector<Row>& rows, const std::string& layout,
+                    bool finger, const char* workload, int threads) {
+  for (const Row& r : rows) {
+    if (r.layout == layout && r.finger == finger && r.workload == workload &&
+        r.threads == threads) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+void emit_json(const std::vector<Row>& rows) {
+  lf::harness::JsonWriter j;
+  j.begin_object();
+  j.field("experiment", "E13 finger search");
+  j.field("key_space", kKeySpace);
+  j.field("total_ops", kOpsTotal);
+  j.field("mix", "10i/10d/80s");
+  j.key("configs").begin_array();
+  for (const Row& r : rows) {
+    j.begin_object();
+    j.field("layout", r.layout.c_str());
+    j.field("finger", r.finger);
+    j.field("workload", r.workload.c_str());
+    j.field("threads", static_cast<std::uint64_t>(r.threads));
+    j.field("mops_per_sec", r.mops);
+    j.field("ns_per_op", r.ns_per_op);
+    j.field("essential_steps_per_op", r.steps_per_op);
+    j.field("finger_hit_rate", r.hit_rate);
+    j.field("finger_skip_per_op", r.skip_per_op);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  std::ofstream f("BENCH_finger.json");
+  f << j.str() << "\n";
+  std::cout << "wrote BENCH_finger.json\n";
+}
+
+}  // namespace
+
+int main() {
+  lf::harness::print_environment(
+      "E13 (finger search)",
+      "per-thread search hints start where the last search ended; localized "
+      "workloads should drop steps/op sharply, uniform must not regress");
+
+  std::vector<Row> rows;
+  run_layout<lf::mem::FlatTowers>("flat", rows);
+  run_layout<lf::mem::ChainedTowers>("chained", rows);
+
+  for (const Workload& w : kWorkloads) {
+    lf::harness::print_section(std::string("workload: ") + w.name);
+    Table t({"layout", "finger", "threads", "Mops/s", "ns/op", "steps/op",
+             "hit rate", "skip/op"});
+    for (const Row& r : rows) {
+      if (r.workload != w.name) continue;
+      t.add_row({r.layout, r.finger ? "on" : "off", std::to_string(r.threads),
+                 Table::num(r.mops, 3), Table::num(r.ns_per_op, 0),
+                 Table::num(r.steps_per_op, 2), Table::num(r.hit_rate, 3),
+                 Table::num(r.skip_per_op, 2)});
+    }
+    t.print();
+  }
+
+  // Acceptance summary: steps/op reduction of finger-on vs finger-off.
+  lf::harness::print_section("finger-on steps/op reduction vs finger-off");
+  Table s({"layout", "workload", "threads", "off", "on", "reduction"});
+  for (const char* layout : {"flat", "chained"}) {
+    for (const Workload& w : kWorkloads) {
+      for (int threads : {1, 8, 16}) {
+        const Row* off = find_row(rows, layout, false, w.name, threads);
+        const Row* on = find_row(rows, layout, true, w.name, threads);
+        if (off == nullptr || on == nullptr || off->steps_per_op == 0)
+          continue;
+        const double red = 1.0 - on->steps_per_op / off->steps_per_op;
+        s.add_row({layout, w.name, std::to_string(threads),
+                   Table::num(off->steps_per_op, 2),
+                   Table::num(on->steps_per_op, 2),
+                   Table::num(100.0 * red, 1) + "%"});
+      }
+    }
+  }
+  s.print();
+  std::cout << "Expected shape: zipf-0.99 and repeat-range reductions >= 20%\n"
+               "at every thread count; uniform within a few percent of zero\n"
+               "(validation cost only). ns/op follows steps/op at 1 thread;\n"
+               "multi-thread wall clock on a single core mostly measures\n"
+               "oversubscription.\n\n";
+
+  emit_json(rows);
+  return 0;
+}

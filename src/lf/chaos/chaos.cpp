@@ -26,10 +26,12 @@ constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
 constexpr const char* kSiteNames[kSiteCount] = {
     "list/search_step",  "list/insert_cas",  "list/flag_cas",
     "list/mark_cas",     "list/unlink_cas",  "list/backlink_step",
-    "list/help_flagged", "list/help_marked", "skip/search_step",
+    "list/help_flagged", "list/help_marked", "list/finger_validate",
+    "list/finger_fallback", "skip/search_step",
     "skip/insert_cas",   "skip/flag_cas",    "skip/mark_cas",
     "skip/unlink_cas",   "skip/backlink_step", "skip/help_flagged",
-    "skip/help_marked",  "skip/tower_build", "base/insert_cas",
+    "skip/help_marked",  "skip/tower_build", "skip/finger_validate",
+    "skip/finger_fallback", "base/insert_cas",
     "base/mark_cas",     "base/unlink_cas",  "epoch/pin",
     "epoch/retire",      "epoch/advance",    "hazard/retire",
     "hazard/scan",       "pool/alloc",       "pool/segment",

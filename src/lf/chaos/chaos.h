@@ -61,6 +61,9 @@ enum class Site : int {
   kListBacklinkStep,    // one hop along a backlink chain
   kListHelpFlagged,     // help_flagged entry
   kListHelpMarked,      // help_marked entry
+  kListFingerValidate,  // finger_start: cached hint qualified, about to be
+                        // recovered/used (thread holds a validated finger)
+  kListFingerFallback,  // finger_start: no usable hint, search starts at head
   // FRSkipList (core/fr_skiplist.h)
   kSkipSearchStep,
   kSkipInsertCas,
@@ -71,6 +74,8 @@ enum class Site : int {
   kSkipHelpFlagged,
   kSkipHelpMarked,
   kSkipTowerBuild,  // insert: before linking the next tower level
+  kSkipFingerValidate,  // finger_start: cached descent entry qualified
+  kSkipFingerFallback,  // finger_start: no usable entry, head descent
   // Baselines (harris_list.h / restart_skiplist.h) — E12 fault injection
   kBaseInsertCas,
   kBaseMarkCas,

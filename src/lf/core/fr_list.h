@@ -73,14 +73,21 @@
 #include "lf/reclaim/epoch.h"
 #include "lf/reclaim/leaky.h"
 #include "lf/reclaim/reclaimer.h"
+#include "lf/sync/backoff.h"
+#include "lf/sync/finger.h"
 #include "lf/sync/succ_field.h"
 #include "lf/util/prefetch.h"
 
 namespace lf {
 
+// The extra template parameters beyond the paper's algorithm:
+//   Finger      sync::FingerOn (default) caches each thread's last search
+//               result per structure and starts the next search there when
+//               the reclaimer policy can re-validate it (sync/finger.h).
+//               sync::FingerOff compiles the layer out entirely.
 template <typename Key, typename T = Key, typename Compare = std::less<Key>,
           typename Reclaimer = reclaim::EpochReclaimer,
-          typename Alloc = mem::PoolAlloc>
+          typename Alloc = mem::PoolAlloc, typename Finger = sync::FingerOn>
 class FRList {
  public:
   using key_type = Key;
@@ -159,7 +166,7 @@ class FRList {
 
   InsertStatus insert_checked(const Key& k, T value) {
     [[maybe_unused]] auto guard = reclaimer_.guard();
-    auto [prev, next] = search_from<true>(k, head_);
+    auto [prev, next] = search_entry<true>(k);
     if (node_eq(prev, k)) {
       stats::tls().op_insert.inc();
       return InsertStatus::kDuplicate;  // DUPLICATE_KEY
@@ -181,7 +188,7 @@ class FRList {
   bool erase(const Key& k) {
     [[maybe_unused]] auto guard = reclaimer_.guard();
     // SearchFrom(k - eps): prev.key < k <= del.key, per Delete line 1.
-    auto [prev, del] = search_from<false>(k, head_);
+    auto [prev, del] = search_entry<false>(k);
     bool erased = false;
     if (node_eq(del, k)) {
       auto [flag_prev, result] = try_flag(prev, del);
@@ -195,7 +202,7 @@ class FRList {
   // SEARCH(k): copy of the mapped value, or nullopt.
   std::optional<T> find(const Key& k) const {
     [[maybe_unused]] auto guard = reclaimer_.guard();
-    auto [curr, next] = search_from<true>(k, head_);
+    auto [curr, next] = search_entry<true>(k);
     (void)next;
     std::optional<T> out;
     if (node_eq(curr, k)) out.emplace(curr->value);
@@ -205,7 +212,7 @@ class FRList {
 
   bool contains(const Key& k) const {
     [[maybe_unused]] auto guard = reclaimer_.guard();
-    auto [curr, next] = search_from<true>(k, head_);
+    auto [curr, next] = search_entry<true>(k);
     (void)next;
     stats::tls().op_search.inc();
     return node_eq(curr, k);
@@ -449,6 +456,88 @@ class FRList {
            !comp_(k, n->key);
   }
 
+  // ---- Finger (search hint) layer — see sync/finger.h and DESIGN.md §10 --
+  //
+  // Each thread remembers, per list instance, the n1 node its last search
+  // returned together with the reclaimer's validity token. The next
+  // top-level search starts there when (a) the token still proves the node
+  // is dereferenceable, and (b) the node's key is on the correct side of
+  // the new search key. A finger that was marked in the meantime is
+  // recovered through its backlink chain — the exact recovery a failed C&S
+  // performs — and an unrecoverable one falls back to the head. Only the
+  // public entry points use fingers; the two-phase adversary hooks
+  // (insert_locate / insert_try_once / erase_begin) keep their head starts
+  // so the paper's lower-bound schedules stay reproducible.
+
+  using FingerPol = sync::FingerPolicy<Reclaimer>;
+  static constexpr bool kFingerActive =
+      Finger::kEnabled && FingerPol::kSupported;
+
+  // The slot caches the node's key (immutable while the token validates,
+  // since a validating token proves the node unreclaimed) so the key-side
+  // check never touches a cold node: only a finger that passes it is
+  // dereferenced, for the mark check.
+  struct FingerSlot {
+    std::uint64_t instance = 0;
+    std::uint64_t token = 0;
+    Node* node = nullptr;
+    Key key{};             // meaningful unless is_head
+    bool is_head = false;  // head sentinel compares below every key
+  };
+
+  // The head-or-finger search every public operation starts with.
+  template <bool Closed>
+  std::pair<Node*, Node*> search_entry(const Key& k) const {
+    if constexpr (kFingerActive) {
+      auto& slot = sync::tls_finger_slot<FingerSlot>(finger_id_);
+      const std::uint64_t token = FingerPol::token(reclaimer_);
+      Node* start = finger_start<Closed>(k, slot, token);
+      auto out = search_from<Closed>(k, start != nullptr ? start : head_);
+      // Save under the token of the CURRENT pin: everything reachable in
+      // this operation stays dereferenceable while that token revalidates.
+      slot.instance = finger_id_;
+      slot.token = token;
+      slot.node = out.first;
+      slot.is_head = out.first == head_;
+      if (!slot.is_head) slot.key = out.first->key;  // cache-warm read
+      return out;
+    } else {
+      return search_from<Closed>(k, head_);
+    }
+  }
+
+  // Returns a validated start node with key < k (Closed: key <= k), or
+  // nullptr for a head start. Counts hits/misses; backlink hops taken here
+  // are charged as regular recovery steps.
+  template <bool Closed>
+  Node* finger_start(const Key& k, FingerSlot& slot,
+                     std::uint64_t token) const {
+    auto& c = stats::tls();
+    if (slot.instance == finger_id_ && slot.node != nullptr &&
+        slot.token == token &&
+        (slot.is_head ||
+         (Closed ? !comp_(k, slot.key) : comp_(slot.key, k)))) {
+      LF_CHAOS_POINT(kListFingerValidate);
+      Node* start = slot.node;
+      std::uint64_t chain = 0;
+      while (start->succ.load().mark) {
+        Node* back = start->backlink.load(std::memory_order_acquire);
+        if (back == nullptr) break;  // defensive; marked => backlink set
+        c.backlink_traversal.inc();
+        ++chain;
+        start = back;
+      }
+      if (chain > 0) stats::chain_hist_tls().record(chain);
+      if (!start->succ.load().mark) {
+        c.finger_hit.inc();
+        return start;
+      }
+    }
+    LF_CHAOS_POINT(kListFingerFallback);
+    c.finger_miss.inc();
+    return nullptr;
+  }
+
   // ---- SEARCHFROM (Figure 3) --------------------------------------------
   //
   // Finds consecutive nodes n1, n2 with n1.right == n2 at some time during
@@ -548,6 +637,7 @@ class FRList {
   // (nullptr, false) when target was deleted from the list.
   std::pair<Node*, bool> try_flag(Node* prev, Node* target) const {
     auto& c = stats::tls();
+    sync::Backoff backoff;
     for (;;) {
       if (prev->succ.load() == View{target, false, true}) {
         return {prev, false};  // predecessor already flagged by someone else
@@ -562,6 +652,11 @@ class FRList {
       if (result == View{target, false, true}) {
         return {prev, false};  // lost the race to a concurrent flagger
       }
+      // Lost a C&S to real contention: back off briefly before recovering,
+      // so retry storms on one hot predecessor drain instead of thrashing.
+      // Off the success path, so it adds no counted steps and no fast-path
+      // cost (sync/backoff.h).
+      backoff.pause();
       // Possibly a failure due to marking: recover through the backlink
       // chain to the nearest unmarked node (paper lines 9-10).
       std::uint64_t chain = 0;
@@ -587,6 +682,7 @@ class FRList {
   bool insert_loop(Node* node, Node* prev, Node* next) {
     auto& c = stats::tls();
     const Key& k = node->key;
+    sync::Backoff backoff;
     for (;;) {
       const View prev_succ = prev->succ.load();
       if (prev_succ.flag) {
@@ -603,6 +699,9 @@ class FRList {
         if (result.flag && !result.mark) {
           help_flagged(prev, result.right);
         }
+        // Failed insertion C&S under contention: back off before the
+        // recovery walk + re-search (no counted steps; see try_flag).
+        backoff.pause();
         std::uint64_t chain = 0;
         while (prev->succ.load().mark) {
           LF_CHAOS_POINT(kListBacklinkStep);
@@ -630,6 +729,8 @@ class FRList {
   mutable Reclaimer reclaimer_;
   Node* head_;
   Node* tail_;
+  // Never-reused id keying this instance's thread-local finger slots.
+  const std::uint64_t finger_id_ = sync::next_finger_instance();
 
   static_assert(reclaim::reclaimer_for<Reclaimer, Node>);
 };

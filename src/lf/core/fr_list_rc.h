@@ -25,8 +25,10 @@
 //       - mark/flag C&S: pointer unchanged, no count traffic.
 //   * Release to zero frees the node: its stored succ/backlink targets are
 //     released (no cycles among deleted nodes, so this terminates) and the
-//     node is recycled. An IN-FREELIST bit in the count word keeps late
-//     SafeRead ghost pairs on recycled nodes from double-freeing.
+//     node is recycled. An IN-FREELIST bit in the count word — set
+//     atomically with the dying 1 -> 0 transition — keeps late SafeRead
+//     ghost pairs on recycled nodes from double-freeing, and lets the
+//     finger layer reject a dead hint without any field to re-validate.
 //
 // Trade-offs vs the epoch default (quantified in experiment E9): every
 // traversal hop pays an RMW pair on shared counters, the known cost that
@@ -49,12 +51,19 @@
 #include <utility>
 #include <vector>
 
+#include "lf/chaos/chaos.h"
 #include "lf/instrument/counters.h"
+#include "lf/sync/finger.h"
 #include "lf/sync/succ_field.h"
 
 namespace lf {
 
-template <typename Key, typename T = Key, typename Compare = std::less<Key>>
+// `Finger` (sync::FingerOn / sync::FingerOff) statically enables the
+// thread-local search-hint layer. Unlike the epoch variant, validity is not
+// proven with an epoch token: a saved finger is re-acquired by taking a
+// count on the node and checking a per-node reuse stamp (finger_try_hold).
+template <typename Key, typename T = Key, typename Compare = std::less<Key>,
+          typename Finger = sync::FingerOn>
 class FRListRC {
  public:
   using key_type = Key;
@@ -82,6 +91,11 @@ class FRListRC {
     Succ succ;
     std::atomic<Node*> backlink{nullptr};
     std::atomic<std::uint64_t> refct{0};
+    // Incarnation counter, bumped once per recycle() before the node can be
+    // reallocated. A finger saved as (node, stamp) names one incarnation:
+    // an equal stamp on a held node proves the node was never recycled in
+    // between, so its key (and backlink chain) are still the saved ones.
+    std::atomic<std::uint64_t> stamp{0};
     Node* arena_next = nullptr;  // allocation registry (destructor sweep)
     Node* free_next = nullptr;   // free-list link (guarded by free_mu_)
   };
@@ -110,7 +124,8 @@ class FRListRC {
   // ---- dictionary operations (FRList algorithm + count discipline) -----
 
   bool insert(const Key& k, T value) {
-    auto [prev, next] = search_from<true>(k, acquire(head_));
+    auto [prev, next] = search_from<true>(k, finger_entry<true>(k));
+    save_finger(prev);
     if (node_eq(prev, k)) {
       release(prev);
       release(next);
@@ -157,7 +172,8 @@ class FRListRC {
   }
 
   bool erase(const Key& k) {
-    auto [prev, del] = search_from<false>(k, acquire(head_));
+    auto [prev, del] = search_from<false>(k, finger_entry<false>(k));
+    save_finger(prev);
     bool erased = false;
     if (node_eq(del, k)) {
       auto [flag_prev, result] = try_flag(prev, del);  // consumes prev
@@ -172,7 +188,8 @@ class FRListRC {
   }
 
   std::optional<T> find(const Key& k) const {
-    auto [curr, next] = search_from<true>(k, acquire(head_));
+    auto [curr, next] = search_from<true>(k, finger_entry<true>(k));
+    save_finger(curr);
     std::optional<T> out;
     if (node_eq(curr, k)) out.emplace(curr->value);
     release(curr);
@@ -299,15 +316,108 @@ class FRListRC {
       Node* n = pending.back();
       pending.pop_back();
       if (n == nullptr) continue;
-      const std::uint64_t old =
-          n->refct.fetch_sub(1, std::memory_order_acq_rel);
-      assert((old & kCountMask) != 0 && "refcount underflow");
-      if (old != 1) continue;  // still referenced (or already in freelist)
-      if (n->kind != Node::Kind::kInterior) continue;  // sentinels persist
+      // The decrement is a C&S loop (not fetch_sub) so the dying transition
+      // of an interior node — count 1 -> 0 — sets the IN-FREELIST bit in
+      // the SAME atomic step. A count word of zero-without-the-bit must
+      // never be observable: a SafeRead ghost increment could revive it to
+      // a plausible nonzero count, and finger_try_hold (which has no field
+      // to re-validate against, unlike SafeRead) would mistake the dying
+      // node for a live one.
+      std::uint64_t old = n->refct.load(std::memory_order_relaxed);
+      bool dying;
+      for (;;) {
+        assert((old & kCountMask) != 0 && "refcount underflow");
+        dying = old == 1 && n->kind == Node::Kind::kInterior;
+        const std::uint64_t desired = dying ? kFreeBit : old - 1;
+        if (n->refct.compare_exchange_weak(old, desired,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed)) {
+          break;
+        }
+      }
+      if (!dying) continue;  // still referenced, sentinel, or in freelist
       // Count hit zero outside the free list: this releaser owns the node.
       pending.push_back(n->succ.load().right);
       pending.push_back(n->backlink.load(std::memory_order_acquire));
       recycle(n);
+    }
+  }
+
+  // ---- finger (search hint) layer -----------------------------------------
+
+  static constexpr bool kFingerActive = Finger::kEnabled;
+
+  struct FingerSlot {
+    std::uint64_t instance = 0;
+    std::uint64_t stamp = 0;
+    Node* node = nullptr;
+  };
+
+  // Try to re-acquire a counted reference on a saved finger. Returns true
+  // holding one new reference on `n`; false holding nothing.
+  //
+  // Soundness: the fetch_add is an RMW, so it observes the latest count
+  // word. kFreeBit clear and count nonzero therefore prove the node is not
+  // (and is not becoming) freelisted — the dying transition in release()
+  // sets the bit atomically — and our increment now blocks any future dying
+  // transition, so the node stays live while held. The stamp is read after
+  // that RMW: if the node was recycled and re-allocated since the save, the
+  // hold's RMW reads allocate()'s release-RMWs on the same word, which
+  // happen after recycle()'s stamp bump, so the mismatch is visible and the
+  // stale finger is rejected. An equal stamp proves zero recycles since the
+  // save: same incarnation, same key, backlink chain intact.
+  bool finger_try_hold(Node* n, std::uint64_t stamp) const {
+    const std::uint64_t old = n->refct.fetch_add(1, std::memory_order_acq_rel);
+    if ((old & kFreeBit) != 0 || (old & kCountMask) == 0) {
+      // Freelisted: undo with a raw decrement — release() here could run a
+      // second dying transition on a node another thread already owns.
+      n->refct.fetch_sub(1, std::memory_order_acq_rel);
+      return false;
+    }
+    if (n->stamp.load(std::memory_order_acquire) != stamp) {
+      release(n);  // live node, but a later incarnation
+      return false;
+    }
+    return true;
+  }
+
+  // Counted start node for a top-level search: a validated finger, or the
+  // head. The returned reference is consumed by search_from.
+  template <bool Closed>
+  Node* finger_entry(const Key& k) const {
+    if constexpr (kFingerActive) {
+      auto& c = stats::tls();
+      auto& slot = sync::tls_finger_slot<FingerSlot>(finger_id_);
+      if (slot.instance == finger_id_ && slot.node != nullptr &&
+          finger_try_hold(slot.node, slot.stamp)) {
+        Node* start = slot.node;
+        LF_CHAOS_POINT(kListFingerValidate);
+        // Key read is safe only AFTER the hold (same incarnation, and the
+        // held count keeps allocate() from rewriting it).
+        if (Closed ? node_le(start, k) : node_lt(start, k)) {
+          walk_backlinks(start);  // marked finger: recover leftward
+          if (!start->succ.load().mark) {
+            c.finger_hit.inc();
+            return start;
+          }
+        }
+        release(start);
+      }
+      LF_CHAOS_POINT(kListFingerFallback);
+      c.finger_miss.inc();
+    }
+    return acquire(head_);
+  }
+
+  // Remember a node the caller currently holds as this thread's next search
+  // start. Only the raw pointer and stamp are kept — no count survives the
+  // caller's release — so quiescent count accounting is unaffected.
+  void save_finger(Node* n) const {
+    if constexpr (kFingerActive) {
+      auto& slot = sync::tls_finger_slot<FingerSlot>(finger_id_);
+      slot.instance = finger_id_;
+      slot.node = n;
+      slot.stamp = n->stamp.load(std::memory_order_acquire);
     }
   }
 
@@ -348,7 +458,12 @@ class FRListRC {
   void recycle(Node* n) const {
     stats::tls().node_retired.inc();
     stats::tls().node_freed.inc();  // immediately reusable: freed now
-    n->refct.fetch_or(kFreeBit, std::memory_order_acq_rel);
+    // kFreeBit was set by the dying transition in release(). Bump the reuse
+    // stamp before the node enters the free list (and so before allocate()
+    // can hand it out): any finger saved on this incarnation can then never
+    // validate again — finger_try_hold's refct RMW synchronizes with
+    // allocate()'s, making this increment visible to its stamp check.
+    n->stamp.fetch_add(1, std::memory_order_release);
     std::lock_guard lock(free_mu_);
     n->free_next = free_head_;
     free_head_ = n;
@@ -513,6 +628,7 @@ class FRListRC {
   Compare comp_;
   Node* head_;
   Node* tail_;
+  const std::uint64_t finger_id_ = sync::next_finger_instance();
 
   mutable std::mutex free_mu_;
   mutable Node* free_head_ = nullptr;

@@ -70,15 +70,26 @@
 #include "lf/mem/tower.h"
 #include "lf/reclaim/epoch.h"
 #include "lf/reclaim/reclaimer.h"
+#include "lf/sync/backoff.h"
+#include "lf/sync/finger.h"
 #include "lf/sync/succ_field.h"
 #include "lf/util/prefetch.h"
 #include "lf/util/random.h"
 
 namespace lf {
 
+// The extra template parameters beyond the paper's algorithm:
+//   Layout      memory layout policy (mem/tower.h), see below.
+//   Finger      sync::FingerOn (default) caches each thread's last descent
+//               (the lowest kFingerLevels (pred, succ) pairs) per structure
+//               instance and enters the next search at the lowest cached
+//               level whose window still brackets the key, when the
+//               reclaimer policy can re-validate the cached nodes
+//               (sync/finger.h, DESIGN.md §10). sync::FingerOff compiles
+//               the layer out entirely.
 template <typename Key, typename T = Key, typename Compare = std::less<Key>,
           typename Reclaimer = reclaim::EpochReclaimer, int MaxLevel = 24,
-          typename Layout = mem::FlatTowers>
+          typename Layout = mem::FlatTowers, typename Finger = sync::FingerOn>
 class FRSkipList {
   static_assert(MaxLevel >= 2, "need at least two levels (erase cleanup)");
 
@@ -236,8 +247,16 @@ class FRSkipList {
       erased = delete_node(prev, del);
       if (erased) {
         // Delete_SL: re-search down to level 2 to physically delete the
-        // rest of the now-superfluous tower, top-down.
-        search_to_level<true>(k, 2);
+        // rest of the now-superfluous tower, top-down. The sweep must
+        // ENTER at or above the tower's top — a finger entry below it
+        // would leave the levels above the entry linked — so pass the
+        // tower's height as the minimum finger entry level. tower_top is
+        // pre-published before every level link, so it covers every node
+        // a concurrent builder managed to link (any node linked after
+        // this read is removed by the builder itself when it sees the
+        // marked root).
+        Node* top = del->tower_root->tower_top.load(std::memory_order_acquire);
+        search_to_level<true>(k, 2, top != nullptr ? top->level : MaxLevel);
       }
     }
     stats::tls().op_erase.inc();
@@ -541,24 +560,160 @@ class FRSkipList {
     }
   }
 
-  // ---- SearchToLevel_SL --------------------------------------------------
+  // ---- Finger (search hint) layer — sync/finger.h, DESIGN.md §10 ---------
   //
-  // Descends from just above the tallest live tower to level v, traversing
-  // each level with SearchRight; returns consecutive (n1, n2) on level v
-  // with n1.key <= k < n2.key (Closed) or n1.key < k <= n2.key (!Closed).
-  template <bool Closed>
-  std::pair<Node*, Node*> search_to_level(const Key& k, int v) const {
+  // Each thread remembers, per skip-list instance, the lowest kFingerLevels
+  // levels of its last descent: at level l the (pred, succ) pair its
+  // SearchRight returned, plus the reclaimer token under which that pair
+  // was observed. The next search enters at the LOWEST cached level l >= v
+  // whose token still validates and whose window brackets the key
+  // (pred.key < k <= succ.key-at-save-time), skipping the whole descent
+  // above l. Entries carry individual tokens because a finger-entered
+  // search only refreshes levels <= its entry level, so upper entries may
+  // be older than lower ones.
+  //
+  // A pred that was marked since it was saved is recovered through its
+  // backlink chain — the same recovery a failed C&S performs — and any
+  // validation failure falls back to the ordinary head descent, so the
+  // paper's amortized bound is untouched (the fallback IS the status quo
+  // and validation is O(kFingerLevels)).
+
+  using FingerPol = sync::FingerPolicy<Reclaimer>;
+  static constexpr bool kFingerActive =
+      Finger::kEnabled && FingerPol::kSupported;
+  static constexpr int kFingerLevels =
+      4 < kMaxTowerHeight ? 4 : kMaxTowerHeight;
+
+  // Entries cache the bracket KEYS (and sentinel kinds) alongside the pred
+  // pointer: while the token validates, the node is unreclaimed and its
+  // key/kind are immutable, so checking the cached copies is equivalent to
+  // dereferencing — and a failed validation (the common case on a locality
+  // break) then costs no cache misses on cold nodes at all. Only a PASSING
+  // entry dereferences its pred, for the mark check.
+  struct FingerSlot {
+    std::uint64_t instance = 0;
+    struct Entry {
+      Node* pred = nullptr;
+      std::uint64_t token = 0;
+      Key pred_key{};  // meaningful unless pred_head
+      Key succ_key{};  // meaningful unless succ_tail
+      bool pred_head = false;
+      bool succ_tail = false;
+    };
+    Entry level[kFingerLevels + 1];  // [1..kFingerLevels]; [0] unused
+  };
+
+  // Level the plain head descent would enter at.
+  int head_entry_level(int v) const noexcept {
     int curr_v = top_hint_.load(std::memory_order_relaxed) + 1;
     if (curr_v > MaxLevel) curr_v = MaxLevel;
     if (curr_v < v) curr_v = v;
-    Node* curr = head_[curr_v];
+    return curr_v;
+  }
+
+  void save_finger(FingerSlot& slot, int lvl, Node* pred, Node* succ,
+                   std::uint64_t token) const {
+    if (lvl > kFingerLevels) return;
+    slot.instance = finger_id_;
+    auto& e = slot.level[lvl];
+    e.pred = pred;
+    e.token = token;
+    // pred/succ were just traversed, so these reads are cache-warm.
+    e.pred_head = pred->kind == Node::Kind::kHead;
+    if (!e.pred_head) e.pred_key = pred->key;
+    e.succ_tail = succ->kind == Node::Kind::kTail;
+    if (!e.succ_tail) e.succ_key = succ->key;
+  }
+
+  // Picks a validated entry point: (start node, level), or (nullptr, 0) for
+  // a head descent. Scans cached levels from max(v, min_level) upward and
+  // takes the lowest usable one — lower entry, shorter walk. min_level lets
+  // erase's tower-cleanup sweep refuse entries below the tower it must
+  // clear (an entry below the tower top would skip the levels above it).
+  template <bool Closed>
+  std::pair<Node*, int> finger_start(const Key& k, int v, int min_level,
+                                     FingerSlot& slot,
+                                     std::uint64_t token) const {
+    auto& c = stats::tls();
+    const int lo = min_level > v ? min_level : v;
+    if (slot.instance == finger_id_ && lo <= kFingerLevels) {
+      for (int lvl = lo; lvl <= kFingerLevels; ++lvl) {
+        const auto& e = slot.level[lvl];
+        if (e.pred == nullptr || e.token != token) continue;
+        // Equality (pred.key == k) is admitted only for a Closed search
+        // entering at its own target when that target is level 1: there the
+        // cached pred is a tower ROOT, so "unmarked" below directly implies
+        // it is not superfluous. At upper levels an equal-key start could
+        // sit ON a superfluous node and SearchRight — which only examines
+        // successors — would never physically delete it, leaving erase's
+        // cleanup pass a no-op.
+        const bool allow_eq = Closed && lvl == v && v == 1;
+        if (!e.pred_head &&
+            (allow_eq ? comp_(k, e.pred_key) : !comp_(e.pred_key, k)))
+          continue;
+        // Window check: at save time succ was the next node at this level,
+        // so k beyond succ's key means an unbounded rightward walk — worse
+        // than descending from above. (Tail = +infinity always qualifies.)
+        if (!e.succ_tail && comp_(e.succ_key, k)) continue;
+        LF_CHAOS_POINT(kSkipFingerValidate);
+        Node* start = e.pred;
+        std::uint64_t chain = 0;
+        while (start->succ.load().mark) {
+          Node* back = start->backlink.load(std::memory_order_acquire);
+          if (back == nullptr) break;  // defensive; marked => backlink set
+          c.backlink_traversal.inc();
+          ++chain;
+          start = back;
+        }
+        if (chain > 0) stats::chain_hist_tls().record(chain);
+        if (start->succ.load().mark) break;  // unrecoverable: head descent
+        c.finger_hit.inc();
+        const int head_v = head_entry_level(v);
+        if (head_v > lvl)
+          c.finger_skip.inc(static_cast<std::uint64_t>(head_v - lvl));
+        return {start, lvl};
+      }
+    }
+    LF_CHAOS_POINT(kSkipFingerFallback);
+    c.finger_miss.inc();
+    return {nullptr, 0};
+  }
+
+  // ---- SearchToLevel_SL --------------------------------------------------
+  //
+  // Descends from just above the tallest live tower — or from a validated
+  // per-thread finger (see above) — to level v, traversing each level with
+  // SearchRight; returns consecutive (n1, n2) on level v with
+  // n1.key <= k < n2.key (Closed) or n1.key < k <= n2.key (!Closed).
+  template <bool Closed>
+  std::pair<Node*, Node*> search_to_level(const Key& k, int v,
+                                          int min_finger_level = 0) const {
+    Node* curr = nullptr;
+    int curr_v = 0;
+    [[maybe_unused]] FingerSlot* slot = nullptr;
+    [[maybe_unused]] std::uint64_t token = 0;
+    if constexpr (kFingerActive) {
+      slot = &sync::tls_finger_slot<FingerSlot>(finger_id_);
+      token = FingerPol::token(reclaimer_);
+      std::tie(curr, curr_v) =
+          finger_start<Closed>(k, v, min_finger_level, *slot, token);
+    }
+    if (curr == nullptr) {
+      curr_v = head_entry_level(v);
+      curr = head_[curr_v];
+    }
     Node* next = nullptr;
     while (curr_v > v) {
       std::tie(curr, next) = search_right<false>(k, curr);
+      if constexpr (kFingerActive)
+        save_finger(*slot, curr_v, curr, next, token);
       curr = curr->down;
       --curr_v;
     }
-    return search_right<Closed>(k, curr);
+    auto out = search_right<Closed>(k, curr);
+    if constexpr (kFingerActive)
+      save_finger(*slot, v, out.first, out.second, token);
+    return out;
   }
 
   // ---- SearchRight --------------------------------------------------------
@@ -673,6 +828,7 @@ class FRSkipList {
   std::tuple<Node*, FlagStatus, bool> try_flag_node(Node* prev,
                                                     Node* target) const {
     auto& c = stats::tls();
+    sync::Backoff backoff;
     for (;;) {
       if (prev->succ.load() == View{target, false, true}) {
         return {prev, FlagStatus::kIn, false};
@@ -687,6 +843,9 @@ class FRSkipList {
       if (result == View{target, false, true}) {
         return {prev, FlagStatus::kIn, false};
       }
+      // Lost a C&S to real contention: back off briefly before recovering
+      // (failure path only — no counted steps, no fast-path cost).
+      backoff.pause();
       std::uint64_t chain = 0;
       while (prev->succ.load().mark) {
         LF_CHAOS_POINT(kSkipBacklinkStep);
@@ -716,6 +875,7 @@ class FRSkipList {
     auto& c = stats::tls();
     const Key& k = node->key;
     if (node_eq(prev, k)) return {prev, InsertResult::kDuplicate};
+    sync::Backoff backoff;
     for (;;) {
       const View prev_succ = prev->succ.load();
       if (prev_succ.flag) {
@@ -732,6 +892,9 @@ class FRSkipList {
         if (result.flag && !result.mark) {
           help_flagged(prev, result.right);
         }
+        // Failed insertion C&S under contention: back off before the
+        // recovery walk + re-search (failure path only; see try_flag_node).
+        backoff.pause();
         std::uint64_t chain = 0;
         while (prev->succ.load().mark) {
           LF_CHAOS_POINT(kSkipBacklinkStep);
@@ -757,6 +920,8 @@ class FRSkipList {
   std::array<Node*, MaxLevel + 1> head_{};  // head_[1..MaxLevel]; [0] unused
   Node* tail_;
   std::atomic<int> top_hint_;
+  // Never-reused id keying this instance's thread-local finger slots.
+  const std::uint64_t finger_id_ = sync::next_finger_instance();
 
   static_assert(reclaim::reclaimer_for<Reclaimer, Node>);
   // Tower retirement goes through the layout's type-erased deleter, so the

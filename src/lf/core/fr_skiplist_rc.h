@@ -37,14 +37,25 @@
 #include <utility>
 #include <vector>
 
+#include "lf/chaos/chaos.h"
 #include "lf/instrument/counters.h"
+#include "lf/sync/finger.h"
 #include "lf/sync/succ_field.h"
 #include "lf/util/random.h"
 
 namespace lf {
 
+// `Finger` (sync::FingerOn / sync::FingerOff) statically enables the
+// thread-local search-hint layer. The counted variant caches only the
+// LEVEL-1 position of the last search: re-validating one node per reuse
+// (count + reuse stamp, see finger_try_hold) is cheap, while a per-level
+// cache would pay a counted re-acquisition per level. Level-1 searches —
+// find, and the locate phases of insert and erase — are where the descent
+// is longest, so they carry almost all of the win; upper-level searches
+// (tower building, erase's cleanup pass) keep their full head descent,
+// which also preserves the superfluous-tower sweep above level 1.
 template <typename Key, typename T = Key, typename Compare = std::less<Key>,
-          int MaxLevel = 24>
+          int MaxLevel = 24, typename Finger = sync::FingerOn>
 class FRSkipListRC {
   static_assert(MaxLevel >= 2, "need at least two levels (erase cleanup)");
 
@@ -77,6 +88,10 @@ class FRSkipListRC {
     Node* down = nullptr;        // immutable; counted at creation
     Node* tower_root = nullptr;  // immutable; counted at creation
     std::atomic<std::uint64_t> refct{0};
+    // Incarnation counter, bumped once per recycle() before the node can
+    // be reallocated; (node, stamp) pairs name incarnations for the finger
+    // layer (see fr_list_rc.h for the full argument).
+    std::atomic<std::uint64_t> stamp{0};
     Node* arena_next = nullptr;
     Node* free_next = nullptr;
   };
@@ -269,11 +284,23 @@ class FRSkipListRC {
       Node* n = pending.back();
       pending.pop_back();
       if (n == nullptr) continue;
-      const std::uint64_t old =
-          n->refct.fetch_sub(1, std::memory_order_acq_rel);
-      assert((old & kCountMask) != 0 && "refcount underflow");
-      if (old != 1) continue;
-      if (n->kind != Node::Kind::kInterior) continue;
+      // C&S decrement so the interior dying transition (1 -> 0) sets the
+      // IN-FREELIST bit atomically; zero-without-the-bit must never be
+      // observable or finger_try_hold could validate a dying node (see
+      // fr_list_rc.h::release for the ghost-revival interleaving).
+      std::uint64_t old = n->refct.load(std::memory_order_relaxed);
+      bool dying;
+      for (;;) {
+        assert((old & kCountMask) != 0 && "refcount underflow");
+        dying = old == 1 && n->kind == Node::Kind::kInterior;
+        const std::uint64_t desired = dying ? kFreeBit : old - 1;
+        if (n->refct.compare_exchange_weak(old, desired,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed)) {
+          break;
+        }
+      }
+      if (!dying) continue;
       pending.push_back(n->succ.load().right);
       pending.push_back(n->backlink.load(std::memory_order_acquire));
       pending.push_back(n->down);
@@ -331,7 +358,9 @@ class FRSkipListRC {
   void recycle(Node* n) const {
     stats::tls().node_retired.inc();
     stats::tls().node_freed.inc();
-    n->refct.fetch_or(kFreeBit, std::memory_order_acq_rel);
+    // kFreeBit was set by the dying transition in release(); bump the reuse
+    // stamp before the node can be reallocated (see fr_list_rc.h).
+    n->stamp.fetch_add(1, std::memory_order_release);
     std::lock_guard lock(free_mu_);
     n->free_next = free_head_;
     free_head_ = n;
@@ -369,11 +398,86 @@ class FRSkipListRC {
     }
   }
 
+  // ---- finger (search hint) layer ------------------------------------------
+
+  static constexpr bool kFingerActive = Finger::kEnabled;
+
+  struct FingerSlot {
+    std::uint64_t instance = 0;
+    std::uint64_t stamp = 0;
+    Node* node = nullptr;  // a level-1 node (or head_[1])
+  };
+
+  // Identical protocol to fr_list_rc.h::finger_try_hold; the soundness
+  // argument (RMW on the count word sees the dying transition's atomic
+  // free-bit, and synchronizes with allocate() so the stamp check sees any
+  // recycle) lives there.
+  bool finger_try_hold(Node* n, std::uint64_t stamp) const {
+    const std::uint64_t old = n->refct.fetch_add(1, std::memory_order_acq_rel);
+    if ((old & kFreeBit) != 0 || (old & kCountMask) == 0) {
+      n->refct.fetch_sub(1, std::memory_order_acq_rel);  // raw undo
+      return false;
+    }
+    if (n->stamp.load(std::memory_order_acquire) != stamp) {
+      release(n);  // live node, but a later incarnation
+      return false;
+    }
+    return true;
+  }
+
+  // Counted level-1 start node for a bottom-level search, or nullptr to
+  // request the normal head descent.
+  template <bool Closed>
+  Node* finger_entry(const Key& k) const {
+    auto& c = stats::tls();
+    auto& slot = sync::tls_finger_slot<FingerSlot>(finger_id_);
+    if (slot.instance == finger_id_ && slot.node != nullptr &&
+        finger_try_hold(slot.node, slot.stamp)) {
+      Node* start = slot.node;
+      LF_CHAOS_POINT(kSkipFingerValidate);
+      if (Closed ? node_le(start, k) : node_lt(start, k)) {
+        walk_backlinks(start);  // marked finger: recover leftward
+        if (!start->succ.load().mark) {
+          c.finger_hit.inc();
+          // Levels not descended relative to a head start.
+          int head_v = top_hint_.load(std::memory_order_relaxed) + 1;
+          if (head_v > MaxLevel) head_v = MaxLevel;
+          if (head_v > 1) {
+            c.finger_skip.inc(static_cast<std::uint64_t>(head_v - 1));
+          }
+          return start;
+        }
+      }
+      release(start);
+    }
+    LF_CHAOS_POINT(kSkipFingerFallback);
+    c.finger_miss.inc();
+    return nullptr;
+  }
+
+  void save_finger(Node* n) const {
+    if constexpr (kFingerActive) {
+      auto& slot = sync::tls_finger_slot<FingerSlot>(finger_id_);
+      slot.instance = finger_id_;
+      slot.node = n;
+      slot.stamp = n->stamp.load(std::memory_order_acquire);
+    }
+  }
+
   // ---- skip-list search (counted) ------------------------------------------
 
   // Returns counted (n1, n2) on level v.
   template <bool Closed>
   std::pair<Node*, Node*> search_to_level(const Key& k, int v) const {
+    if constexpr (kFingerActive) {
+      if (v == 1) {
+        if (Node* start = finger_entry<Closed>(k)) {
+          auto out = search_right<Closed>(k, start);  // consumes start
+          save_finger(out.first);
+          return out;
+        }
+      }
+    }
     int curr_v = top_hint_.load(std::memory_order_relaxed) + 1;
     if (curr_v > MaxLevel) curr_v = MaxLevel;
     if (curr_v < v) curr_v = v;
@@ -388,7 +492,11 @@ class FRSkipListRC {
       curr = below;
       --curr_v;
     }
-    return search_right<Closed>(k, curr);
+    auto out = search_right<Closed>(k, curr);
+    if constexpr (kFingerActive) {
+      if (v == 1) save_finger(out.first);
+    }
+    return out;
   }
 
   // Consumes curr; returns counted (n1, n2).
@@ -568,6 +676,7 @@ class FRSkipListRC {
   std::array<Node*, MaxLevel + 1> head_{};
   Node* tail_;
   mutable std::atomic<int> top_hint_{1};
+  const std::uint64_t finger_id_ = sync::next_finger_instance();
 
   mutable std::mutex free_mu_;
   mutable Node* free_head_ = nullptr;

@@ -39,6 +39,18 @@ namespace lf::stats {
 //   node_retired         nodes handed to the reclaimer
 //   node_freed           nodes actually freed by the reclaimer
 //   op_insert/erase/search   completed dictionary operations
+//   finger_hit           searches that started from a validated finger
+//   finger_miss          searches that fell back to the head (no usable
+//                        finger: empty slot, stale reclaimer token, key
+//                        outside the cached window, or unrecoverable mark)
+//   finger_skip          levels NOT descended thanks to a finger hit,
+//                        i.e. (head entry level - finger entry level)
+//                        summed over hits — the "steps saved" proxy
+//
+// The finger_* counters are bookkeeping for the hint layer (sync/finger.h),
+// NOT steps of the paper's cost model: essential_steps() must never include
+// them. Work a finger actually causes (its backlink-recovery hops, the
+// traversal from the hint) is already charged to the regular step counters.
 #define LF_STEP_COUNTER_FIELDS(X) \
   X(cas_attempt)                  \
   X(cas_success)                  \
@@ -56,7 +68,10 @@ namespace lf::stats {
   X(node_freed)                   \
   X(op_insert)                    \
   X(op_erase)                     \
-  X(op_search)
+  X(op_search)                    \
+  X(finger_hit)                   \
+  X(finger_miss)                  \
+  X(finger_skip)
 
 // Single-writer counter readable by other threads. The owner's increment is a
 // relaxed load+store pair (no lock prefix); concurrent readers may observe a
@@ -119,6 +134,15 @@ struct Snapshot {
     return ops == 0 ? 0.0
                     : static_cast<double>(essential_steps()) /
                           static_cast<double>(ops);
+  }
+
+  // Fraction of finger-eligible searches that started from a validated
+  // hint. 0 when the finger layer is disabled or unused.
+  double finger_hit_rate() const noexcept {
+    const std::uint64_t total = finger_hit + finger_miss;
+    return total == 0 ? 0.0
+                      : static_cast<double>(finger_hit) /
+                            static_cast<double>(total);
   }
 };
 

@@ -131,6 +131,12 @@ void EpochDomain::retire_erased(void* object, void (*deleter)(void*)) {
   }
 }
 
+std::uint64_t EpochDomain::pinned_epoch() {
+  ThreadState& ts = thread_state();
+  assert(ts.pin_depth > 0 && "pinned_epoch() requires an active Guard");
+  return ts.state->load(std::memory_order_relaxed) >> 1;
+}
+
 EpochDomain::ThreadState& EpochDomain::thread_state() {
   struct Entry {
     std::uint64_t domain_id;

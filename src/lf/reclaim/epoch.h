@@ -100,6 +100,15 @@ class EpochDomain {
   std::uint64_t epoch() const noexcept {
     return global_epoch_->load(std::memory_order_acquire);
   }
+
+  // The epoch the CALLING thread currently advertises. Only meaningful
+  // while the thread holds a Guard (asserted). This is the value the
+  // finger layer (sync/finger.h) uses as its validity token: while a
+  // thread stays pinned advertising epoch e, the global epoch cannot pass
+  // e + 1, so nothing retired at epoch >= e (i.e. anything the thread
+  // reached under a pin that advertised e) can be freed. Two pins that
+  // advertise the SAME epoch therefore cover the same set of nodes.
+  std::uint64_t pinned_epoch();
   std::uint64_t retired_count() const noexcept {
     return retired_live_->load(std::memory_order_relaxed);
   }
@@ -153,6 +162,9 @@ class EpochReclaimer {
   void retire_with(void* object, void (*deleter)(void*)) {
     domain_->retire_with(object, deleter);
   }
+
+  // Finger-layer hook (see EpochDomain::pinned_epoch).
+  std::uint64_t pinned_epoch() { return domain_->pinned_epoch(); }
 
   EpochDomain& domain() noexcept { return *domain_; }
 

@@ -1,9 +1,12 @@
 // Bounded exponential backoff.
 //
 // The paper's algorithms never need backoff for correctness (lock-freedom is
-// unconditional), but baselines that restart from the head (Harris, Michael)
-// and spin-heavy benchmark loops behave pathologically under heavy
-// oversubscription without it. Used only where a comment says so.
+// unconditional), but retry storms on one hot C&S target waste cycles and
+// coherence bandwidth, and loops behave pathologically under heavy
+// oversubscription without yielding. Used on the FAILURE paths of the
+// insert-C&S and flag-C&S retry loops in FRList/FRSkipList (never on a
+// success path, so the uncontended cost is zero and no counted step is
+// affected) and in head-restarting baselines.
 #pragma once
 
 #include <cstdint>

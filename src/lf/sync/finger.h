@@ -1,0 +1,121 @@
+// Finger (search-hint) layer: per-thread, per-structure memory of where the
+// last search ended, so the next search can start there instead of at the
+// head.
+//
+// The paper's machinery makes this safe almost for free: a stale hint is
+// self-identifying (its mark bit is set), and a marked node carries a
+// backlink to a node further LEFT, so a search that starts from a stale
+// finger recovers exactly the way a failed C&S recovers — walk backlinks to
+// the nearest unmarked node and resume. Starting a search at any unmarked
+// node with key < k is precisely the restart the paper's Insert/TryFlag
+// loops already perform after backlink recovery, so the finger adds no new
+// proof obligations to the traversal itself (DESIGN.md §10).
+//
+// What IS new is the memory-reclamation obligation: the cached node pointer
+// outlives the guard under which it was found, so before dereferencing it a
+// later operation must prove the node (and its whole backlink chain) has
+// not been freed in between. That proof is reclaimer-specific, which is why
+// the layer is a policy keyed on the reclaimer:
+//
+//   LeakyReclaimer   nodes are never freed; every saved finger stays
+//                    dereferenceable forever. Token is a constant.
+//
+//   EpochReclaimer   the token is the epoch the saving thread ADVERTISED
+//                    while pinned. Any node the thread could reach during
+//                    that pin was retired no earlier than that epoch e (the
+//                    epoch argument in reclaim/epoch.h), so it is freed only
+//                    once the global epoch reaches e + 2. A later pin that
+//                    advertises the SAME epoch e (checked by comparing
+//                    tokens) both proves the global never reached e + 2 and,
+//                    by staying pinned at e, blocks the advance past e + 1
+//                    for the whole new operation — the finger and every
+//                    backlink reachable from it stay dereferenceable.
+//                    Strictly-equal tokens are required: one epoch of slack
+//                    would admit a node freed exactly at e + 2.
+//
+//   anything else    (e.g. hazard pointers, which have no cheap
+//                    re-acquisition for an unprotected pointer) — the
+//                    primary template reports kSupported = false and the
+//                    structures compile the finger code out entirely.
+//
+// The reference-counted variants (core/*_rc.h) do not use tokens; they
+// validate by re-acquiring a count on the node and checking a per-node
+// reuse stamp (see fr_list_rc.h::finger_try_hold).
+//
+// Storage: hints live in thread_local direct-mapped slot arrays, keyed by a
+// monotonically increasing per-structure instance id. Ids are never reused,
+// so a slot left over from a destroyed structure can never be mistaken for
+// the current one (the id check fails without touching the stale pointer).
+//
+// The whole layer is statically removable: structures take a FingerOn /
+// FingerOff policy tag (default on) and guard every finger touch with
+// `if constexpr`, so the off configuration is zero-cost the same way
+// LF_CHAOS off is.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "lf/reclaim/epoch.h"
+#include "lf/reclaim/leaky.h"
+
+namespace lf::sync {
+
+// Structure-level on/off switch (template parameter of FRList/FRSkipList).
+struct FingerOn {
+  static constexpr bool kEnabled = true;
+};
+struct FingerOff {
+  static constexpr bool kEnabled = false;
+};
+
+// Reclaimer-specific validity proof. token() is called while the calling
+// thread holds the reclaimer's guard, both when saving a finger and when
+// attempting to reuse one; a saved entry is dereferenceable iff its saved
+// token equals the current one.
+template <typename Reclaimer>
+struct FingerPolicy {
+  static constexpr bool kSupported = false;
+  static std::uint64_t token(Reclaimer&) noexcept { return 0; }
+};
+
+template <>
+struct FingerPolicy<reclaim::LeakyReclaimer> {
+  static constexpr bool kSupported = true;
+  static std::uint64_t token(reclaim::LeakyReclaimer&) noexcept {
+    return 1;  // nodes are immortal: every saved finger stays valid
+  }
+};
+
+template <>
+struct FingerPolicy<reclaim::EpochReclaimer> {
+  static constexpr bool kSupported = true;
+  static std::uint64_t token(reclaim::EpochReclaimer& r) {
+    // +1 keeps 0 free as the "empty entry" value even if a domain ever
+    // started at epoch 0 (the default domain starts at kBuckets).
+    return r.pinned_epoch() + 1;
+  }
+};
+
+// Monotonic id for finger-bearing structure instances. Never reused, so
+// slot contents from a destroyed (or address-recycled) instance fail the id
+// check instead of being dereferenced.
+inline std::uint64_t next_finger_instance() noexcept {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Direct-mapped thread-local slot array for a structure's Slot type. Each
+// distinct Slot type (one per structure template instantiation) gets its
+// own array; instances hash into it by id. A collision between two live
+// instances merely evicts (the id check turns the stale entry into a miss).
+inline constexpr std::size_t kFingerWays = 8;
+
+template <typename Slot>
+Slot& tls_finger_slot(std::uint64_t instance) noexcept {
+  thread_local Slot slots[kFingerWays] = {};
+  return slots[instance & (kFingerWays - 1)];
+}
+
+}  // namespace lf::sync

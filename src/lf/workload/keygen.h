@@ -1,8 +1,20 @@
 // Key-stream generators for benchmark workloads.
 //
-// Uniform and Zipfian draws over a fixed key space, each thread owning an
-// independently seeded generator so key generation adds no synchronization
-// to the measured region.
+// Uniform, Zipfian and repeated-range draws over a fixed key space, each
+// thread owning an independently seeded generator so key generation adds no
+// synchronization to the measured region.
+//
+// Two locality-sensitive details matter for the finger experiments (E13):
+//
+//   * ZipfGenerator ranks keys by popularity with the hottest keys FIRST:
+//     raw draws put all the mass at the left edge of the key space, where a
+//     head-started search is already nearly optimal. The `scramble` option
+//     applies an odd-multiplier bijection so hot keys land at uncorrelated
+//     positions — popularity skew without positional skew.
+//
+//   * kRepeatedRange models scan-like locality: draws stay inside a narrow
+//     window of `range_width` consecutive keys for `range_dwell` operations
+//     before the window jumps to a fresh random base.
 #pragma once
 
 #include <cstdint>
@@ -12,27 +24,76 @@
 
 namespace lf::workload {
 
-enum class KeyDist { kUniform, kZipfian };
+enum class KeyDist { kUniform, kZipfian, kRepeatedRange };
+
+// Namespace-scope (not nested) so it can be a defaulted `= {}` constructor
+// argument below: nested-class member initializers are only parsed once the
+// enclosing class is complete.
+struct KeyGenOptions {
+  // Zipfian only: decorrelate popularity rank from key-space position.
+  bool scramble = false;
+  // kRepeatedRange only: window size and draws per window.
+  std::uint64_t range_width = 64;
+  std::uint64_t range_dwell = 256;
+};
 
 class KeyGen {
  public:
+  using Options = KeyGenOptions;
+
   KeyGen(KeyDist dist, std::uint64_t key_space, std::uint64_t seed,
-         double zipf_theta = 0.99)
-      : dist_(dist), key_space_(key_space), rng_(seed) {
+         double zipf_theta = 0.99, Options opts = {})
+      : dist_(dist), key_space_(key_space), opts_(opts), rng_(seed) {
     if (dist_ == KeyDist::kZipfian)
       zipf_ = std::make_unique<ZipfGenerator>(key_space, zipf_theta, seed);
+    mask_ = 1;
+    while (mask_ < key_space_) mask_ <<= 1;
+    --mask_;
+    if (opts_.range_width == 0) opts_.range_width = 1;
+    if (opts_.range_width > key_space_) opts_.range_width = key_space_;
+    if (opts_.range_dwell == 0) opts_.range_dwell = 1;
   }
 
   std::uint64_t next() noexcept {
-    if (dist_ == KeyDist::kZipfian) return (*zipf_)();
+    switch (dist_) {
+      case KeyDist::kZipfian: {
+        const std::uint64_t z = (*zipf_)();
+        return opts_.scramble ? scramble(z) : z;
+      }
+      case KeyDist::kRepeatedRange: {
+        if (dwell_left_ == 0) {
+          base_ = rng_.below(key_space_ - opts_.range_width + 1);
+          dwell_left_ = opts_.range_dwell;
+        }
+        --dwell_left_;
+        return base_ + rng_.below(opts_.range_width);
+      }
+      case KeyDist::kUniform:
+        break;
+    }
     return rng_.below(key_space_);
   }
 
   std::uint64_t key_space() const noexcept { return key_space_; }
 
  private:
+  // Fixed odd-multiplier bijection on [0, 2^b), cycle-walked back into
+  // [0, key_space) when the key space is not a power of two: a permutation
+  // of the key space, so scrambled Zipf keeps its exact popularity
+  // distribution — only the positions move.
+  std::uint64_t scramble(std::uint64_t k) const noexcept {
+    do {
+      k = (k * 0x9E3779B97F4A7C15ULL) & mask_;
+    } while (k >= key_space_);
+    return k;
+  }
+
   KeyDist dist_;
   std::uint64_t key_space_;
+  Options opts_;
+  std::uint64_t mask_ = 0;
+  std::uint64_t base_ = 0;
+  std::uint64_t dwell_left_ = 0;
   Xoshiro256 rng_;
   std::unique_ptr<ZipfGenerator> zipf_;
 };

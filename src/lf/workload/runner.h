@@ -32,6 +32,7 @@ struct RunConfig {
   OpMix mix{};
   KeyDist dist = KeyDist::kUniform;
   double zipf_theta = 0.99;
+  KeyGen::Options keygen{};  // scramble / repeated-range parameters
   std::uint64_t seed = 42;
   std::uint64_t prefill = 1024;  // successful inserts before measurement
   bool measure_contention = true;
@@ -119,7 +120,7 @@ RunResult run_workload(Set& set, const RunConfig& cfg) {
       Xoshiro256 op_rng(cfg.seed * 31 + static_cast<std::uint64_t>(t) + 1);
       KeyGen keys(cfg.dist, cfg.key_space,
                   cfg.seed * 131 + static_cast<std::uint64_t>(t) + 7,
-                  cfg.zipf_theta);
+                  cfg.zipf_theta, cfg.keygen);
       start_line.arrive_and_wait();
       for (std::uint64_t i = 0; i < cfg.ops_per_thread; ++i) {
         const auto k = static_cast<KeyT>(keys.next());

@@ -284,7 +284,8 @@ TEST_F(ChaosTest, CrashMatrixFRList) {
   for (Site site : {Site::kListSearchStep, Site::kListInsertCas,
                     Site::kListFlagCas, Site::kListMarkCas,
                     Site::kListUnlinkCas, Site::kListBacklinkStep,
-                    Site::kListHelpFlagged, Site::kListHelpMarked}) {
+                    Site::kListHelpFlagged, Site::kListHelpMarked,
+                    Site::kListFingerValidate, Site::kListFingerFallback}) {
     run_crash_site<lf::FRList<long, long>>(site);
   }
 }
@@ -294,7 +295,8 @@ TEST_F(ChaosTest, CrashMatrixFRSkipList) {
                     Site::kSkipFlagCas, Site::kSkipMarkCas,
                     Site::kSkipUnlinkCas, Site::kSkipBacklinkStep,
                     Site::kSkipHelpFlagged, Site::kSkipHelpMarked,
-                    Site::kSkipTowerBuild}) {
+                    Site::kSkipTowerBuild, Site::kSkipFingerValidate,
+                    Site::kSkipFingerFallback}) {
     run_crash_site<lf::FRSkipList<long, long>>(site);
   }
 }

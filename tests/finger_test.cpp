@@ -1,0 +1,225 @@
+// Finger (search-hint) layer tests — the per-thread "start where the last
+// search ended" optimization of DESIGN.md §10.
+//
+// Four properties are pinned down here:
+//
+//   * FAST PATH — a repeated search starts at the previously found node
+//     and takes ZERO traversal steps, observed through the paper's step
+//     counters (curr_update), not wall clock.
+//
+//   * VALIDATION — a finger left on a node that was since deleted,
+//     reclaimed, or recycled is either recovered through its backlink
+//     chain (counted as backlink_traversal) or rejected into a head
+//     fallback; results stay correct and no retired memory is touched
+//     (the whole file is meaningful under ASan, which the sanitizer CI
+//     job runs).
+//
+//   * ISOLATION — hints are per (thread, structure instance); instances
+//     never share or inherit each other's hints, even when a structure is
+//     destroyed and a new one takes its place.
+//
+//   * STATIC OFF — sync::FingerOff compiles the layer out; its counters
+//     stay exactly zero (the fuzz suite re-checks this under yields).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <thread>
+
+#include "lf/core/fr_list.h"
+#include "lf/core/fr_list_rc.h"
+#include "lf/core/fr_skiplist.h"
+#include "lf/core/fr_skiplist_rc.h"
+#include "lf/instrument/counters.h"
+#include "lf/reclaim/leaky.h"
+
+namespace {
+
+using lf::stats::aggregate;
+
+// ---- Fast path: repeated searches take zero traversal steps ---------------
+
+template <typename Set>
+void expect_repeat_find_is_free(Set& set) {
+  for (long k : {10, 20, 30, 40}) ASSERT_TRUE(set.insert(k, k));
+  ASSERT_TRUE(set.find(20).has_value());  // installs the finger on node 20
+  const auto before = aggregate();
+  constexpr int kRepeats = 50;
+  for (int i = 0; i < kRepeats; ++i) {
+    ASSERT_TRUE(set.find(20).has_value());
+  }
+  const auto delta = aggregate() - before;
+  EXPECT_EQ(delta.finger_hit, static_cast<std::uint64_t>(kRepeats));
+  EXPECT_EQ(delta.finger_miss, 0u);
+  // The finger IS the sought node: the search starts there, sees the next
+  // key is larger, and stops without advancing once.
+  EXPECT_EQ(delta.curr_update, 0u);
+}
+
+TEST(Finger, RepeatedFindIsFreeFRList) {
+  lf::FRList<long, long> list;
+  expect_repeat_find_is_free(list);
+}
+
+TEST(Finger, RepeatedFindIsFreeFRSkipList) {
+  lf::FRSkipList<long, long> s;
+  expect_repeat_find_is_free(s);
+}
+
+TEST(Finger, RepeatedFindIsFreeFRListRC) {
+  lf::FRListRC<long, long> list;
+  expect_repeat_find_is_free(list);
+}
+
+TEST(Finger, RepeatedFindIsFreeFRSkipListRC) {
+  lf::FRSkipListRC<long, long> s;
+  expect_repeat_find_is_free(s);
+}
+
+// ---- Static off: FingerOff means zero finger traffic ----------------------
+
+TEST(Finger, FingerOffKeepsCountersAtZero) {
+  lf::FRList<long, long, std::less<long>, lf::reclaim::EpochReclaimer,
+             lf::mem::PoolAlloc, lf::sync::FingerOff>
+      list;
+  lf::FRSkipList<long, long, std::less<long>, lf::reclaim::EpochReclaimer,
+                 24, lf::mem::FlatTowers, lf::sync::FingerOff>
+      s;
+  const auto before = aggregate();
+  for (long k = 0; k < 64; ++k) {
+    list.insert(k, k);
+    s.insert(k, k);
+  }
+  for (int r = 0; r < 4; ++r) {
+    for (long k = 0; k < 64; ++k) {
+      list.find(k);
+      s.find(k);
+    }
+  }
+  const auto delta = aggregate() - before;
+  EXPECT_EQ(delta.finger_hit, 0u);
+  EXPECT_EQ(delta.finger_miss, 0u);
+  EXPECT_EQ(delta.finger_skip, 0u);
+}
+
+// ---- Validation: stale fingers recover via backlinks ----------------------
+
+// Leaky reclamation makes the recovery deterministic: the token always
+// matches, so a finger on a deleted node MUST take the backlink path (the
+// paper's own recovery mechanism) rather than falling back to the head.
+TEST(Finger, DeletedFingerRecoversThroughBacklink) {
+  using List =
+      lf::FRList<long, long, std::less<long>, lf::reclaim::LeakyReclaimer>;
+  List list;
+  for (long k : {10, 20, 30}) ASSERT_TRUE(list.insert(k, k));
+  ASSERT_TRUE(list.find(20).has_value());  // finger -> node 20
+  // A DIFFERENT thread erases 20, so this thread's finger still points at
+  // the (now marked, backlinked, unlinked) node.
+  std::thread eraser([&] { ASSERT_TRUE(list.erase(20)); });
+  eraser.join();
+  const auto before = aggregate();
+  EXPECT_FALSE(list.find(20).has_value());
+  const auto delta = aggregate() - before;
+  EXPECT_EQ(delta.finger_hit, 1u);  // recovered, not abandoned
+  EXPECT_GE(delta.backlink_traversal, 1u);
+  EXPECT_TRUE(list.validate().ok);
+}
+
+// Epoch variant of the same shape, plus actual reclamation: after the
+// fingered tower is erased, churn advances the epoch until the victim's
+// nodes are freed. The next search from the stale finger must reject it
+// (token mismatch) without dereferencing the retired memory — this test is
+// the ASan tripwire for the whole validation scheme.
+TEST(Finger, ReclaimedFingerFallsBackToHead) {
+  lf::FRSkipList<long, long> s;
+  for (long k = 0; k < 32; ++k) ASSERT_TRUE(s.insert(k, k));
+
+  std::atomic<int> phase{0};
+  std::optional<long> second_result;
+  lf::stats::Snapshot worker_delta;
+  std::thread worker([&] {
+    ASSERT_TRUE(s.find(7).has_value());  // installs the finger
+    phase.store(1, std::memory_order_release);
+    while (phase.load(std::memory_order_acquire) != 2) {
+      std::this_thread::yield();  // unpinned: epochs can advance past us
+    }
+    const auto before = aggregate();
+    second_result = s.find(7);
+    worker_delta = aggregate() - before;
+  });
+
+  while (phase.load(std::memory_order_acquire) != 1) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(s.erase(7));
+  // Far beyond kAdvanceEvery retirements: the epoch advances several times
+  // and node 7's tower is genuinely freed while the worker's finger still
+  // names it.
+  for (int r = 0; r < 40; ++r) {
+    for (long k = 100; k < 164; ++k) ASSERT_TRUE(s.insert(k, k));
+    for (long k = 100; k < 164; ++k) ASSERT_TRUE(s.erase(k));
+  }
+  phase.store(2, std::memory_order_release);
+  worker.join();
+
+  EXPECT_FALSE(second_result.has_value());
+  // The pin epoch moved, so every saved level fails the token check.
+  EXPECT_EQ(worker_delta.finger_hit, 0u);
+  EXPECT_EQ(worker_delta.finger_miss, 1u);
+  EXPECT_TRUE(s.validate().ok);
+}
+
+// Reference-counted variant: the erased node is recycled IMMEDIATELY and
+// its memory reused by an unrelated insert. The stale finger re-acquires
+// the node, sees a bumped reuse stamp (a different incarnation), and must
+// reject it.
+TEST(Finger, RecycledFingerRejectedByReuseStamp) {
+  lf::FRListRC<long, long> list;
+  for (long k : {10, 20, 30}) ASSERT_TRUE(list.insert(k, k));
+  ASSERT_TRUE(list.find(20).has_value());  // finger -> node 20
+  std::thread helper([&] {
+    ASSERT_TRUE(list.erase(20));     // node 20 goes to the free list
+    ASSERT_TRUE(list.insert(99, 99));  // LIFO free list: reuses its memory
+  });
+  helper.join();
+  const auto before = aggregate();
+  EXPECT_FALSE(list.find(20).has_value());
+  const auto delta = aggregate() - before;
+  EXPECT_EQ(delta.finger_miss, 1u);
+  EXPECT_TRUE(list.contains(99));
+  EXPECT_TRUE(list.validate_counts());
+}
+
+// ---- Isolation: hints are per-instance, ids never reused ------------------
+
+TEST(Finger, InstancesDoNotShareHints) {
+  lf::FRList<long, long> a;
+  lf::FRList<long, long> b;
+  ASSERT_TRUE(a.insert(100, 1));
+  ASSERT_TRUE(b.insert(200, 2));
+  // Interleave so each op runs with the OTHER structure's hint freshest.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(a.contains(100));
+    EXPECT_TRUE(b.contains(200));
+    EXPECT_FALSE(a.contains(200));
+    EXPECT_FALSE(b.contains(100));
+  }
+  EXPECT_TRUE(a.validate().ok);
+  EXPECT_TRUE(b.validate().ok);
+}
+
+TEST(Finger, DestroyedInstanceLeavesNoUsableHint) {
+  auto first = std::make_unique<lf::FRSkipList<long, long>>();
+  for (long k = 0; k < 16; ++k) ASSERT_TRUE(first->insert(k, k));
+  ASSERT_TRUE(first->find(8).has_value());  // hint into `first`'s nodes
+  first.reset();                            // nodes freed with the instance
+  // A new instance gets a NEW id, so the old slot contents fail the id
+  // check instead of being dereferenced (ASan-observable if they were).
+  lf::FRSkipList<long, long> second;
+  for (long k = 0; k < 16; ++k) ASSERT_TRUE(second.insert(k, k));
+  EXPECT_TRUE(second.find(8).has_value());
+  EXPECT_TRUE(second.validate().ok);
+}
+
+}  // namespace

@@ -155,6 +155,92 @@ TYPED_TEST(SkipListLayoutFuzz, ExactCountsUnderYields) {
   }
 }
 
+// The finger layer must be semantically invisible: a finger-disabled build
+// of every finger-bearing structure holds the same exact-count guarantees
+// under the same seeds (and its counters must stay at zero, proving the
+// static FingerOff really compiles the layer out).
+TEST(ScheduleFuzz, FingerOffVariantsExactCountsUnderYields) {
+  const auto before = lf::stats::aggregate();
+  {
+    lf::FRList<long, long, std::less<long>, lf::reclaim::EpochReclaimer,
+               lf::mem::PoolAlloc, lf::sync::FingerOff>
+        list;
+    std::atomic<long> net{0};
+    fuzz_churn(list, 404, 6000, 64, net);
+    EXPECT_EQ(list.size(), static_cast<std::size_t>(net.load()));
+    EXPECT_TRUE(list.validate().ok);
+  }
+  {
+    lf::FRSkipList<long, long, std::less<long>, lf::reclaim::EpochReclaimer,
+                   24, lf::mem::FlatTowers, lf::sync::FingerOff>
+        s;
+    std::atomic<long> net{0};
+    fuzz_churn(s, 505, 5000, 64, net);
+    EXPECT_EQ(s.size(), static_cast<std::size_t>(net.load()));
+    EXPECT_TRUE(s.validate().ok);
+  }
+  {
+    lf::FRListRC<long, long, std::less<long>, lf::sync::FingerOff> list;
+    std::atomic<long> net{0};
+    fuzz_churn(list, 606, 5000, 64, net);
+    EXPECT_EQ(list.size(), static_cast<std::size_t>(net.load()));
+    EXPECT_TRUE(list.validate_counts());
+  }
+  {
+    lf::FRSkipListRC<long, long, std::less<long>, 24, lf::sync::FingerOff> s;
+    std::atomic<long> net{0};
+    fuzz_churn(s, 707, 4000, 64, net);
+    EXPECT_EQ(s.size(), static_cast<std::size_t>(net.load()));
+    EXPECT_TRUE(s.validate_accounting());
+  }
+  const auto delta = lf::stats::aggregate() - before;
+  EXPECT_EQ(delta.finger_hit, 0u);
+  EXPECT_EQ(delta.finger_miss, 0u);
+  EXPECT_EQ(delta.finger_skip, 0u);
+}
+
+// Hot-key churn is where fingers are live on almost every operation AND
+// constantly invalidated by erases of the fingered nodes themselves: the
+// validate / backlink-recover / head-fallback paths all run under yield
+// perturbation. Exact counts must survive regardless.
+TEST(ScheduleFuzz, FingerHotKeyChurnAllStructures) {
+  const auto before = lf::stats::aggregate();
+  {
+    lf::FRList<long, long> list;
+    std::atomic<long> net{0};
+    fuzz_churn(list, 808, 8000, 8, net);
+    EXPECT_EQ(list.size(), static_cast<std::size_t>(net.load()));
+    EXPECT_TRUE(list.validate().ok);
+  }
+  {
+    lf::FRSkipList<long, long> s;
+    std::atomic<long> net{0};
+    fuzz_churn(s, 909, 6000, 8, net);
+    EXPECT_EQ(s.size(), static_cast<std::size_t>(net.load()));
+    EXPECT_TRUE(s.validate().ok);
+  }
+  {
+    lf::FRListRC<long, long> list;
+    std::atomic<long> net{0};
+    fuzz_churn(list, 1111, 5000, 8, net);
+    EXPECT_EQ(list.size(), static_cast<std::size_t>(net.load()));
+    EXPECT_TRUE(list.validate_counts());
+  }
+  {
+    lf::FRSkipListRC<long, long> s;
+    std::atomic<long> net{0};
+    fuzz_churn(s, 1212, 4000, 8, net);
+    EXPECT_EQ(s.size(), static_cast<std::size_t>(net.load()));
+    EXPECT_TRUE(s.validate_accounting());
+  }
+  const auto delta = lf::stats::aggregate() - before;
+  // With 8 hot keys and thousands of ops per thread, fingers must be doing
+  // real work: hits dominate overall, and misses (first op per thread per
+  // structure, erased fingers) exist too.
+  EXPECT_GT(delta.finger_hit, delta.finger_miss);
+  EXPECT_GT(delta.finger_miss, 0u);
+}
+
 TEST(ScheduleFuzz, HotTwoKeyDuel) {
   // The tightest possible conflict: four threads fight over TWO adjacent
   // keys with constant insert/erase, maximizing flag/mark/backlink
