@@ -1,8 +1,11 @@
 // E13 — finger search: the thread-local hint layer (DESIGN.md §10) against
 // head-started searches, on the workloads it was built for.
 //
-// Matrix: {finger on, finger off} x {flat, chained} tower layout, at 1, 8
-// and 16 threads, on three key streams:
+// Matrix: {finger on, finger off} x {flat, chained} tower layout under the
+// epoch reclaimer, plus a flat-layout column under the hazard reclaimer
+// (publish-then-revalidate fingers: one retained slot per fingered level,
+// each holding that level's pred's tower root), at 1, 8 and 16 threads, on
+// three key streams:
 //
 //   * zipf-0.99   — Zipfian popularity with SCRAMBLED positions (the raw
 //                   generator puts hot keys at the left edge of the key
@@ -34,6 +37,7 @@
 #include "lf/instrument/counters.h"
 #include "lf/mem/tower.h"
 #include "lf/reclaim/epoch.h"
+#include "lf/reclaim/hazard.h"
 #include "lf/sync/finger.h"
 #include "lf/workload/runner.h"
 
@@ -42,9 +46,10 @@ namespace {
 using lf::harness::Table;
 namespace wl = lf::workload;
 
-template <typename Layout, typename Finger>
-using Skip = lf::FRSkipList<long, long, std::less<long>,
-                            lf::reclaim::EpochReclaimer, 24, Layout, Finger>;
+template <typename Layout, typename Finger,
+          typename Reclaimer = lf::reclaim::EpochReclaimer>
+using Skip =
+    lf::FRSkipList<long, long, std::less<long>, Reclaimer, 24, Layout, Finger>;
 
 constexpr std::uint64_t kKeySpace = 4096;
 constexpr std::uint64_t kPrefill = 2048;
@@ -65,6 +70,7 @@ const Workload kWorkloads[] = {
 
 struct Row {
   std::string layout;
+  std::string reclaimer;  // "epoch" | "hazard" (publish-then-revalidate)
   bool finger = false;
   std::string workload;
   int threads = 0;
@@ -75,9 +81,10 @@ struct Row {
   double skip_per_op = 0;
 };
 
-template <typename Layout, typename Finger>
-Row run_one(const char* layout_name, bool finger_on, const Workload& w,
-            int threads) {
+template <typename Layout, typename Finger,
+          typename Reclaimer = lf::reclaim::EpochReclaimer>
+Row run_one(const char* layout_name, const char* reclaimer_name,
+            bool finger_on, const Workload& w, int threads) {
   wl::RunConfig cfg;
   cfg.threads = threads;
   cfg.ops_per_thread = kOpsTotal / static_cast<std::uint64_t>(threads);
@@ -89,12 +96,13 @@ Row run_one(const char* layout_name, bool finger_on, const Workload& w,
   cfg.seed = 0xf168e4;
   cfg.measure_contention = false;
 
-  Skip<Layout, Finger> set;
+  Skip<Layout, Finger, Reclaimer> set;
   wl::prefill(set, cfg);
   const auto res = wl::run_workload(set, cfg);
 
   Row r;
   r.layout = layout_name;
+  r.reclaimer = reclaimer_name;
   r.finger = finger_on;
   r.workload = w.name;
   r.threads = threads;
@@ -107,6 +115,7 @@ Row run_one(const char* layout_name, bool finger_on, const Workload& w,
   r.skip_per_op = static_cast<double>(res.steps.finger_skip) /
                   static_cast<double>(res.total_ops);
   lf::reclaim::EpochDomain::global().drain();
+  lf::reclaim::HazardDomain::global().scan();
   return r;
 }
 
@@ -114,18 +123,36 @@ template <typename Layout>
 void run_layout(const char* layout_name, std::vector<Row>& rows) {
   for (const Workload& w : kWorkloads) {
     for (int threads : {1, 8, 16}) {
-      rows.push_back(run_one<Layout, lf::sync::FingerOff>(layout_name, false,
-                                                          w, threads));
-      rows.push_back(
-          run_one<Layout, lf::sync::FingerOn>(layout_name, true, w, threads));
+      rows.push_back(run_one<Layout, lf::sync::FingerOff>(
+          layout_name, "epoch", false, w, threads));
+      rows.push_back(run_one<Layout, lf::sync::FingerOn>(layout_name, "epoch",
+                                                         true, w, threads));
+    }
+  }
+}
+
+// The hazard-reclaimer configuration (publish-then-revalidate fingers).
+// Flat towers only: multi-level hazard fingers need the flat layout's
+// one-block-per-tower retirement (a chained tower degrades to a level-1
+// finger), so the chained axis would only re-measure that restriction.
+void run_hazard(std::vector<Row>& rows) {
+  using HP = lf::reclaim::HazardReclaimer;
+  for (const Workload& w : kWorkloads) {
+    for (int threads : {1, 8, 16}) {
+      rows.push_back(run_one<lf::mem::FlatTowers, lf::sync::FingerOff, HP>(
+          "flat", "hazard", false, w, threads));
+      rows.push_back(run_one<lf::mem::FlatTowers, lf::sync::FingerOn, HP>(
+          "flat", "hazard", true, w, threads));
     }
   }
 }
 
 const Row* find_row(const std::vector<Row>& rows, const std::string& layout,
-                    bool finger, const char* workload, int threads) {
+                    const std::string& reclaimer, bool finger,
+                    const char* workload, int threads) {
   for (const Row& r : rows) {
-    if (r.layout == layout && r.finger == finger && r.workload == workload &&
+    if (r.layout == layout && r.reclaimer == reclaimer &&
+        r.finger == finger && r.workload == workload &&
         r.threads == threads) {
       return &r;
     }
@@ -144,6 +171,7 @@ void emit_json(const std::vector<Row>& rows) {
   for (const Row& r : rows) {
     j.begin_object();
     j.field("layout", r.layout.c_str());
+    j.field("reclaimer", r.reclaimer.c_str());
     j.field("finger", r.finger);
     j.field("workload", r.workload.c_str());
     j.field("threads", static_cast<std::uint64_t>(r.threads));
@@ -172,33 +200,42 @@ int main() {
   std::vector<Row> rows;
   run_layout<lf::mem::FlatTowers>("flat", rows);
   run_layout<lf::mem::ChainedTowers>("chained", rows);
+  run_hazard(rows);
 
   for (const Workload& w : kWorkloads) {
     lf::harness::print_section(std::string("workload: ") + w.name);
-    Table t({"layout", "finger", "threads", "Mops/s", "ns/op", "steps/op",
-             "hit rate", "skip/op"});
+    Table t({"layout", "reclaim", "finger", "threads", "Mops/s", "ns/op",
+             "steps/op", "hit rate", "skip/op"});
     for (const Row& r : rows) {
       if (r.workload != w.name) continue;
-      t.add_row({r.layout, r.finger ? "on" : "off", std::to_string(r.threads),
-                 Table::num(r.mops, 3), Table::num(r.ns_per_op, 0),
-                 Table::num(r.steps_per_op, 2), Table::num(r.hit_rate, 3),
-                 Table::num(r.skip_per_op, 2)});
+      t.add_row({r.layout, r.reclaimer, r.finger ? "on" : "off",
+                 std::to_string(r.threads), Table::num(r.mops, 3),
+                 Table::num(r.ns_per_op, 0), Table::num(r.steps_per_op, 2),
+                 Table::num(r.hit_rate, 3), Table::num(r.skip_per_op, 2)});
     }
     t.print();
   }
 
   // Acceptance summary: steps/op reduction of finger-on vs finger-off.
   lf::harness::print_section("finger-on steps/op reduction vs finger-off");
-  Table s({"layout", "workload", "threads", "off", "on", "reduction"});
-  for (const char* layout : {"flat", "chained"}) {
+  Table s({"layout", "reclaim", "workload", "threads", "off", "on",
+           "reduction"});
+  struct Config {
+    const char* layout;
+    const char* reclaimer;
+  };
+  for (const Config& c : {Config{"flat", "epoch"}, Config{"chained", "epoch"},
+                          Config{"flat", "hazard"}}) {
     for (const Workload& w : kWorkloads) {
       for (int threads : {1, 8, 16}) {
-        const Row* off = find_row(rows, layout, false, w.name, threads);
-        const Row* on = find_row(rows, layout, true, w.name, threads);
+        const Row* off =
+            find_row(rows, c.layout, c.reclaimer, false, w.name, threads);
+        const Row* on =
+            find_row(rows, c.layout, c.reclaimer, true, w.name, threads);
         if (off == nullptr || on == nullptr || off->steps_per_op == 0)
           continue;
         const double red = 1.0 - on->steps_per_op / off->steps_per_op;
-        s.add_row({layout, w.name, std::to_string(threads),
+        s.add_row({c.layout, c.reclaimer, w.name, std::to_string(threads),
                    Table::num(off->steps_per_op, 2),
                    Table::num(on->steps_per_op, 2),
                    Table::num(100.0 * red, 1) + "%"});
@@ -208,8 +245,11 @@ int main() {
   s.print();
   std::cout << "Expected shape: zipf-0.99 and repeat-range reductions >= 20%\n"
                "at every thread count; uniform within a few percent of zero\n"
-               "(validation cost only). ns/op follows steps/op at 1 thread;\n"
-               "multi-thread wall clock on a single core mostly measures\n"
+               "(validation cost only). The hazard rows run the flat layout,\n"
+               "where each fingered level retains its pred's tower root in\n"
+               "its own hazard slot, so their reductions track the epoch\n"
+               "rows. ns/op follows steps/op at 1 thread; multi-thread\n"
+               "wall clock on a single core mostly measures\n"
                "oversubscription.\n\n";
 
   emit_json(rows);

@@ -376,6 +376,13 @@ class MichaelListHP {
            !comp_(k, n->key);
   }
 
+  // Hazard-slot usage: the traversal keeps two published references live
+  // (0 = curr, 1 = prev); the third of Michael's three references (next) is
+  // protected transitively by the validation that prev still links to curr.
+  static_assert(2 <= reclaim::HazardDomain::kMichaelListSlots,
+                "MichaelListHP publishes slots 0 and 1; they must lie "
+                "inside the Michael-list slot budget");
+
   // Find with hazard protection. On return, slot 0 protects curr and
   // slot 1 protects prev, so the caller's C&S operates on protected nodes.
   std::tuple<Node*, Node*, bool> search(
@@ -386,12 +393,15 @@ class MichaelListHP {
     hp.set(1, prev);  // head is never retired; published for uniformity
     Node* curr = prev->succ.load().right;
     for (;;) {
-      // Publish curr, then validate it is still prev's unmarked successor.
-      // Success proves curr was not retired before our publication, so it
-      // is safe to dereference until we clear the slot.
-      hp.set(0, curr);
-      const View check = prev->succ.load();
-      if (check.right != curr || check.mark) {
+      // Publish curr, then validate it is still prev's unmarked successor
+      // — the audited publish-then-revalidate step (ThreadSlots::protect;
+      // fence discipline documented in reclaim/hazard.h). Success proves
+      // curr was not retired before our publication, so it is safe to
+      // dereference until we clear the slot.
+      if (!hp.protect(0, curr, [&]() -> Node* {
+            const View check = prev->succ.load();
+            return check.mark ? nullptr : check.right;
+          })) {
         c.restart.inc();
         goto try_again;
       }
@@ -412,7 +422,10 @@ class MichaelListHP {
       }
       if (!node_lt(curr, k)) return {prev, curr, node_eq(curr, k)};
       prev = curr;
-      hp.set(1, prev);  // prev inherits curr's protection
+      // Not a protect() site: curr is already protected by slot 0 at this
+      // moment, so copying it into slot 1 transfers an existing guarantee —
+      // there is no publish/reload race to revalidate.
+      hp.set(1, prev);
       curr = curr_succ.right;
       c.curr_update.inc();
     }

@@ -64,6 +64,8 @@ enum class Site : int {
   kListFingerValidate,  // finger_start: cached hint qualified, about to be
                         // recovered/used (thread holds a validated finger)
   kListFingerFallback,  // finger_start: no usable hint, search starts at head
+  kListFingerPublish,   // search_entry: about to publish the saved finger
+                        // into the retained hazard slot (HazardReclaimer)
   // FRSkipList (core/fr_skiplist.h)
   kSkipSearchStep,
   kSkipInsertCas,
@@ -76,6 +78,8 @@ enum class Site : int {
   kSkipTowerBuild,  // insert: before linking the next tower level
   kSkipFingerValidate,  // finger_start: cached descent entry qualified
   kSkipFingerFallback,  // finger_start: no usable entry, head descent
+  kSkipFingerPublish,   // save_finger: about to publish the level-1 finger
+                        // into the retained hazard slot (HazardReclaimer)
   // Baselines (harris_list.h / restart_skiplist.h) — E12 fault injection
   kBaseInsertCas,
   kBaseMarkCas,
@@ -86,6 +90,10 @@ enum class Site : int {
   kEpochAdvance,  // EpochDomain::try_advance entry (before the lock)
   kHazardRetire,  // HazardDomain::retire_erased
   kHazardScan,    // HazardDomain::scan_record entry
+  kHazardFingerReacquire,  // HazardDomain::reacquire_finger entry (reuse of
+                           // a retained finger, before the slot-match check)
+  kHazardFingerHop,        // finger recovery walk: before publishing one
+                           // backlink hop into the hop slot
   // Segment pool (mem/pool.*)
   kPoolAlloc,    // pool_allocate entry
   kPoolSegment,  // segment carve from the global allocator

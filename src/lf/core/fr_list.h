@@ -141,6 +141,14 @@ class FRList {
   // concurrent container's destructor. Frees all nodes still linked;
   // physically deleted nodes were already handed to the reclaimer.
   ~FRList() {
+    if constexpr (kFingerActive && FingerPol::kPublishes) {
+      // Other threads' retained hazard slots may still point into this
+      // list, and a concurrent scan would WALK them (dereferencing nodes
+      // we are about to free directly). Null every slot carrying this
+      // instance's tag first; the call excludes in-flight chain walks, so
+      // afterwards no scanner can touch our nodes.
+      reclaimer_.finger_invalidate(finger_id_);
+    }
     Node* n = head_;
     while (n != nullptr) {
       Node* next = n->succ.load().right;
@@ -468,6 +476,13 @@ class FRList {
   // public entry points use fingers; the two-phase adversary hooks
   // (insert_locate / insert_try_once / erase_begin) keep their head starts
   // so the paper's lower-bound schedules stay reproducible.
+  //
+  // Publishing policies (FingerPol::kPublishes — hazard pointers) replace
+  // the token proof with publish-then-revalidate: the save additionally
+  // publishes the finger into the thread's retained hazard slot, reuse
+  // re-acquires it by slot match before the first dereference, and every
+  // backlink hop of a recovery walk is published into the hop slot before
+  // it is followed (reclaim/hazard.h, DESIGN.md §10).
 
   using FingerPol = sync::FingerPolicy<Reclaimer>;
   static constexpr bool kFingerActive =
@@ -485,6 +500,17 @@ class FRList {
     bool is_head = false;  // head sentinel compares below every key
   };
 
+  // Type-erased backlink-chain step for HazardDomain's chain-protecting
+  // scan: from a published finger, scanners protect every node the owning
+  // thread's recovery walk could dereference. Returns null at the first
+  // unmarked node (the chain's end; unmarked nodes are never unlinked, so
+  // they are alive regardless).
+  static void* finger_chain_walker(void* p) {
+    Node* n = static_cast<Node*>(p);
+    if (!n->succ.load().mark) return nullptr;
+    return n->backlink.load(std::memory_order_acquire);
+  }
+
   // The head-or-finger search every public operation starts with.
   template <bool Closed>
   std::pair<Node*, Node*> search_entry(const Key& k) const {
@@ -500,6 +526,16 @@ class FRList {
       slot.node = out.first;
       slot.is_head = out.first == head_;
       if (!slot.is_head) slot.key = out.first->key;  // cache-warm read
+      if constexpr (FingerPol::kPublishes) {
+        // Publish-while-alive: out.first was found unmarked (hence still
+        // linked, hence unreclaimed) under the current guard, so this
+        // publication starts from a provably live node — the invariant the
+        // scan-side chain-protection argument rests on. The head sentinel
+        // is published too (it is never retired; uniformity is simpler).
+        LF_CHAOS_POINT(kListFingerPublish);
+        reclaimer_.finger_publish(out.first, &finger_chain_walker,
+                                  finger_id_);
+      }
       return out;
     } else {
       return search_from<Closed>(k, head_);
@@ -517,20 +553,38 @@ class FRList {
         slot.token == token &&
         (slot.is_head ||
          (Closed ? !comp_(k, slot.key) : comp_(slot.key, k)))) {
-      LF_CHAOS_POINT(kListFingerValidate);
-      Node* start = slot.node;
-      std::uint64_t chain = 0;
-      while (start->succ.load().mark) {
-        Node* back = start->backlink.load(std::memory_order_acquire);
-        if (back == nullptr) break;  // defensive; marked => backlink set
-        c.backlink_traversal.inc();
-        ++chain;
-        start = back;
-      }
-      if (chain > 0) stats::chain_hist_tls().record(chain);
-      if (!start->succ.load().mark) {
-        c.finger_hit.inc();
-        return start;
+      // Publishing policies must re-acquire the retained hazard slot BEFORE
+      // the first dereference: a slot mismatch means protection was not
+      // continuous (evicted by another structure's save on this thread, or
+      // invalidated), so the cached pointer may be freed memory — fail
+      // closed to the head without touching it. Note every check up to
+      // here (instance, token, cached key) is deref-free by construction.
+      bool reacquired = true;
+      if constexpr (FingerPol::kPublishes)
+        reacquired = reclaimer_.finger_reacquire(slot.node, finger_id_);
+      if (reacquired) {
+        LF_CHAOS_POINT(kListFingerValidate);
+        Node* start = slot.node;
+        std::uint64_t chain = 0;
+        while (start->succ.load().mark) {
+          Node* back = start->backlink.load(std::memory_order_acquire);
+          if (back == nullptr) break;  // defensive; marked => backlink set
+          if constexpr (FingerPol::kPublishes) {
+            // Publish the hop before dereferencing it (its liveness is
+            // already guaranteed by the chain-protecting scan while the
+            // finger slot is held; see reclaim/hazard.h).
+            LF_CHAOS_POINT(kHazardFingerHop);
+            reclaimer_.finger_protect_hop(back);
+          }
+          c.backlink_traversal.inc();
+          ++chain;
+          start = back;
+        }
+        if (chain > 0) stats::chain_hist_tls().record(chain);
+        if (!start->succ.load().mark) {
+          c.finger_hit.inc();
+          return start;
+        }
       }
     }
     LF_CHAOS_POINT(kListFingerFallback);

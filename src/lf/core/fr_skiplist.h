@@ -188,6 +188,12 @@ class FRSkipList {
   // node is a tower root owning one block for its whole tower; under the
   // chained layout every linked node is freed individually per level.
   ~FRSkipList() {
+    if constexpr (kFingerActive && FingerPol::kPublishes) {
+      // Null every retained hazard slot still pointing into this instance
+      // before freeing nodes directly, so no concurrent scan can chain-walk
+      // into freed memory (see core/fr_list.h destructor).
+      reclaimer_.finger_invalidate(finger_id_);
+    }
     if constexpr (Layout::kFlat) {
       Node* n = head_[1]->succ.load().right;
       while (n->kind != Node::Kind::kTail) {
@@ -581,8 +587,30 @@ class FRSkipList {
   using FingerPol = sync::FingerPolicy<Reclaimer>;
   static constexpr bool kFingerActive =
       Finger::kEnabled && FingerPol::kSupported;
-  static constexpr int kFingerLevels =
+  // Publishing policies (hazard pointers) pair every cached pred with a
+  // retained slot, and a slot only protects what it holds if that address
+  // is a RETIRED OBJECT address. Under the FLAT layout the whole tower is
+  // one retired block whose address is the level-1 root, and every node
+  // carries an immutable tower_root — so each fingered level retains its
+  // pred's ROOT in its own slot (one of FingerPol::kPublishedEntries), and
+  // a slot match keeps the whole block, interior pred included,
+  // dereferenceable. A CHAINED layout retires towers per node; only the
+  // level-1 node's address is both cacheable and retireable, so the finger
+  // degrades to level 1 there (the same restriction the RC variant's
+  // level-1 hint lives with).
+  static constexpr int kMaxFingerLevels =
       4 < kMaxTowerHeight ? 4 : kMaxTowerHeight;
+  static constexpr int kFingerLevels =
+      FingerPol::kPublishes
+          ? (Layout::kFlat
+                 ? (kMaxFingerLevels < FingerPol::kPublishedEntries
+                        ? kMaxFingerLevels
+                        : FingerPol::kPublishedEntries)
+                 : 1)
+          : kMaxFingerLevels;
+  static_assert(!FingerPol::kPublishes ||
+                    kFingerLevels <= FingerPol::kPublishedEntries,
+                "each fingered level needs its own retained slot");
 
   // Entries cache the bracket KEYS (and sentinel kinds) alongside the pred
   // pointer: while the token validates, the node is unreclaimed and its
@@ -594,6 +622,7 @@ class FRSkipList {
     std::uint64_t instance = 0;
     struct Entry {
       Node* pred = nullptr;
+      Node* root = nullptr;  // pred->tower_root at save (publishing only)
       std::uint64_t token = 0;
       Key pred_key{};  // meaningful unless pred_head
       Key succ_key{};  // meaningful unless succ_tail
@@ -602,6 +631,20 @@ class FRSkipList {
     };
     Entry level[kFingerLevels + 1];  // [1..kFingerLevels]; [0] unused
   };
+
+  // Type-erased backlink-chain step for HazardDomain's chain-protecting
+  // scan (see core/fr_list.h::finger_chain_walker — identical contract).
+  // Paired with finger entry 0 only, which always holds a level-1 root: a
+  // level-1 backlink targets the level-1 predecessor, so the chain stays
+  // within retired-address territory (tower roots). Upper finger entries
+  // are never walked — a marked upper pred falls through to the next level
+  // instead of recovering, because a level-l backlink (l > 1) targets
+  // another tower's INTERIOR node, whose address no slot could protect.
+  static void* finger_chain_walker(void* p) {
+    Node* n = static_cast<Node*>(p);
+    if (!n->succ.load().mark) return nullptr;
+    return n->backlink.load(std::memory_order_acquire);
+  }
 
   // Level the plain head descent would enter at.
   int head_entry_level(int v) const noexcept {
@@ -614,7 +657,15 @@ class FRSkipList {
   void save_finger(FingerSlot& slot, int lvl, Node* pred, Node* succ,
                    std::uint64_t token) const {
     if (lvl > kFingerLevels) return;
-    slot.instance = finger_id_;
+    if (slot.instance != finger_id_) {
+      // First touch, or the direct-mapped TLS slot was evicted by another
+      // instance: entries at OTHER levels hold that instance's pointers,
+      // and once `instance` below claims the slot they would masquerade as
+      // ours (publishing policies use a constant token, so nothing else
+      // would catch them). Kill them before claiming.
+      for (int l = 1; l <= kFingerLevels; ++l) slot.level[l] = {};
+      slot.instance = finger_id_;
+    }
     auto& e = slot.level[lvl];
     e.pred = pred;
     e.token = token;
@@ -623,6 +674,46 @@ class FRSkipList {
     if (!e.pred_head) e.pred_key = pred->key;
     e.succ_tail = succ->kind == Node::Kind::kTail;
     if (!e.succ_tail) e.succ_key = succ->key;
+    if constexpr (FingerPol::kPublishes) {
+      // Cache the address the retained slot will hold: the pred's tower
+      // root — the address retire_tower hands the reclaimer (the
+      // whole-block pointer under the flat layout; pred itself at level 1).
+      // pred was just found unmarked (hence linked, hence unreclaimed)
+      // under the still-held guard, so the deref is safe. The publication
+      // itself happens once per search, in publish_fingers().
+      e.root = pred->tower_root;
+    }
+  }
+
+  // Publishing policies only: rewrite the retained hazard slots after a
+  // search refreshed levels [lo, hi]. A refreshed entry publishes the root
+  // cached at save time — publish-while-alive holds because its pred was
+  // found linked under the STILL-HELD guard, and a concurrent retirement
+  // parks in the epoch stage until this pin ends (the epoch bridge,
+  // reclaim/hazard.h). A level outside the refreshed range is kept only if
+  // its slot still holds its root: protection was then continuous since its
+  // own publish-while-alive moment, so republishing the same address into
+  // the same slot extends it soundly. Anything else is dead — its slot is
+  // published null and the entry cleared so it is never dereferenced.
+  void publish_fingers(FingerSlot& slot, int lo, int hi) const {
+    if (slot.instance != finger_id_ || lo > kFingerLevels) return;
+    void* roots[kFingerLevels];
+    for (int l = 1; l <= kFingerLevels; ++l) {
+      auto& e = slot.level[l];
+      if (e.pred == nullptr) {
+        roots[l - 1] = nullptr;
+      } else if (l >= lo && l <= hi) {
+        roots[l - 1] = e.root;  // refreshed this search
+      } else if (reclaimer_.finger_reacquire(e.root, finger_id_, l - 1)) {
+        roots[l - 1] = e.root;  // stale but continuously protected
+      } else {
+        roots[l - 1] = nullptr;  // evicted since its publish: dead entry
+        e.pred = nullptr;
+      }
+    }
+    LF_CHAOS_POINT(kSkipFingerPublish);
+    reclaimer_.finger_publish(roots, kFingerLevels, &finger_chain_walker,
+                              finger_id_);
   }
 
   // Picks a validated entry point: (start node, level), or (nullptr, 0) for
@@ -655,18 +746,43 @@ class FRSkipList {
         // so k beyond succ's key means an unbounded rightward walk — worse
         // than descending from above. (Tail = +infinity always qualifies.)
         if (!e.succ_tail && comp_(e.succ_key, k)) continue;
+        // Publishing policies: re-acquire this level's retained hazard
+        // slot — which holds the pred's tower ROOT — before the first
+        // dereference (see core/fr_list.h::finger_start — a mismatch means
+        // protection was not continuous and the cached pointer may be
+        // freed memory; fail closed to the next level / head descent). A
+        // match keeps the whole tower block alive, so dereferencing the
+        // interior pred below is sound.
+        if constexpr (FingerPol::kPublishes) {
+          if (!reclaimer_.finger_reacquire(e.root, finger_id_, lvl - 1))
+            continue;
+        }
         LF_CHAOS_POINT(kSkipFingerValidate);
         Node* start = e.pred;
         std::uint64_t chain = 0;
-        while (start->succ.load().mark) {
-          Node* back = start->backlink.load(std::memory_order_acquire);
-          if (back == nullptr) break;  // defensive; marked => backlink set
-          c.backlink_traversal.inc();
-          ++chain;
-          start = back;
+        // Backlink recovery is level-1-only under a publishing policy: a
+        // level-l backlink (l > 1) targets another tower's interior node,
+        // which no slot publication could protect (its address is never a
+        // retired-object address). A marked upper pred falls through to
+        // the next cached level instead.
+        if (!FingerPol::kPublishes || lvl == 1) {
+          while (start->succ.load().mark) {
+            Node* back = start->backlink.load(std::memory_order_acquire);
+            if (back == nullptr) break;  // defensive; marked => backlink set
+            if constexpr (FingerPol::kPublishes) {
+              // Publish the hop before dereferencing it (liveness is
+              // already guaranteed by the chain-protecting scan while the
+              // finger slot is held; see reclaim/hazard.h).
+              LF_CHAOS_POINT(kHazardFingerHop);
+              reclaimer_.finger_protect_hop(back);
+            }
+            c.backlink_traversal.inc();
+            ++chain;
+            start = back;
+          }
         }
         if (chain > 0) stats::chain_hist_tls().record(chain);
-        if (start->succ.load().mark) break;  // unrecoverable: head descent
+        if (start->succ.load().mark) continue;  // try the next level up
         c.finger_hit.inc();
         const int head_v = head_entry_level(v);
         if (head_v > lvl)
@@ -702,6 +818,7 @@ class FRSkipList {
       curr_v = head_entry_level(v);
       curr = head_[curr_v];
     }
+    [[maybe_unused]] const int entry_v = curr_v;
     Node* next = nullptr;
     while (curr_v > v) {
       std::tie(curr, next) = search_right<false>(k, curr);
@@ -711,8 +828,11 @@ class FRSkipList {
       --curr_v;
     }
     auto out = search_right<Closed>(k, curr);
-    if constexpr (kFingerActive)
+    if constexpr (kFingerActive) {
       save_finger(*slot, v, out.first, out.second, token);
+      if constexpr (FingerPol::kPublishes)
+        publish_fingers(*slot, v, entry_v);
+    }
     return out;
   }
 

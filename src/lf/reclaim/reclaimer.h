@@ -4,7 +4,7 @@
 // explicitly incorporated a memory management technique", Section 5) and
 // notes reference counting would apply because physically deleted nodes form
 // no cycles. This repository instead makes reclamation a pluggable policy on
-// every data structure, with three implementations:
+// every data structure:
 //
 //   * LeakyReclaimer  — never frees unlinked nodes; the paper's own setting.
 //                       Useful to benchmark the pure algorithm (E9 baseline).
@@ -14,10 +14,15 @@
 //                       node retired in epoch r can only be reached by an
 //                       operation already pinned when r began, and such an
 //                       operation blocks the 2-epoch grace period.
-//   * Hazard pointers — Michael's SMR; requires the per-traversal protect/
-//                       validate discipline, so it is used by MichaelListHP
-//                       (whose find() was designed for it) rather than being
-//                       a drop-in policy for the FR structures.
+//   * HazardReclaimer — layered epoch + hazard pointers (reclaim/hazard.h).
+//                       The epoch pin covers in-operation traversal (so the
+//                       FR backlink walks stay safe without per-pointer
+//                       validation), while retained hazard slots protect
+//                       cross-operation finger hints that must survive
+//                       epoch advances. Raw per-pointer protect/validate
+//                       (Michael's SMR) remains what MichaelListHP uses
+//                       directly, whose find() was designed for that
+//                       discipline.
 //
 // A policy provides:
 //   Guard guard()            RAII critical-section token. All loads of
@@ -41,9 +46,9 @@ concept reclaimer_for = requires(R r, Node* n) {
 // Extended policy for structures with pooled / non-trivially-freed memory
 // (flat towers, pool-recycled nodes): retirement carries an explicit
 // deleter that runs after the grace period, so the structure controls how
-// the block returns to its arena. Epoch and Leaky provide it; hazard
-// pointers keep the narrower interface (they are only used by
-// MichaelListHP, which owns its nodes individually).
+// the block returns to its arena. Epoch, Leaky, and HazardReclaimer provide
+// it; the raw HazardDomain used by MichaelListHP keeps the narrower
+// interface (that list owns its nodes individually).
 template <typename R>
 concept deferred_reclaimer = requires(R r, void* p, void (*d)(void*)) {
   { r.guard() };

@@ -33,10 +33,28 @@
 //                    Strictly-equal tokens are required: one epoch of slack
 //                    would admit a node freed exactly at e + 2.
 //
-//   anything else    (e.g. hazard pointers, which have no cheap
-//                    re-acquisition for an unprotected pointer) — the
-//                    primary template reports kSupported = false and the
-//                    structures compile the finger code out entirely.
+//   HazardReclaimer  the layered epoch + hazard-pointer policy
+//                    (reclaim/hazard.h). The token is a constant — tokens
+//                    cannot prove anything here, because the cached pointer
+//                    outlives every pin. Instead the policy PUBLISHES
+//                    (kPublishes below): at save time the structure stores
+//                    the finger into the thread's retained hazard slot, and
+//                    reuse re-acquires it by slot match (publish-then-
+//                    revalidate): if the slot still holds exactly the cached
+//                    pointer under the structure's instance tag, protection
+//                    was continuous since a moment the node was provably
+//                    alive, so it is still dereferenceable; any mismatch
+//                    fails closed to a head start without dereferencing.
+//                    (The skip list retains one slot per fingered level —
+//                    kPublishedEntries of them — each holding that level's
+//                    pred's tower root.)
+//                    A marked primary finger recovers through its backlink chain
+//                    with each hop published into the hop slot, and the
+//                    domain's scan protects the whole published chain
+//                    (reclaim/hazard.cpp::scan_record, DESIGN.md §10).
+//
+//   anything else    — the primary template reports kSupported = false and
+//                    the structures compile the finger code out entirely.
 //
 // The reference-counted variants (core/*_rc.h) do not use tokens; they
 // validate by re-acquiring a count on the node and checking a per-node
@@ -58,6 +76,7 @@
 #include <cstdint>
 
 #include "lf/reclaim/epoch.h"
+#include "lf/reclaim/hazard.h"
 #include "lf/reclaim/leaky.h"
 
 namespace lf::sync {
@@ -74,15 +93,26 @@ struct FingerOff {
 // thread holds the reclaimer's guard, both when saving a finger and when
 // attempting to reuse one; a saved entry is dereferenceable iff its saved
 // token equals the current one.
+//
+// kPublishes marks policies whose proof is NOT token-based but slot-based:
+// the structure must additionally call the reclaimer's finger_publish /
+// finger_reacquire / finger_protect_hop / finger_invalidate hooks (the
+// token still participates so the shared save/validate plumbing stays
+// uniform; publishing policies use a constant token that always matches and
+// let the slot re-acquisition be the real proof).
 template <typename Reclaimer>
 struct FingerPolicy {
   static constexpr bool kSupported = false;
+  static constexpr bool kPublishes = false;
+  static constexpr int kPublishedEntries = 0;
   static std::uint64_t token(Reclaimer&) noexcept { return 0; }
 };
 
 template <>
 struct FingerPolicy<reclaim::LeakyReclaimer> {
   static constexpr bool kSupported = true;
+  static constexpr bool kPublishes = false;
+  static constexpr int kPublishedEntries = 0;
   static std::uint64_t token(reclaim::LeakyReclaimer&) noexcept {
     return 1;  // nodes are immortal: every saved finger stays valid
   }
@@ -91,10 +121,29 @@ struct FingerPolicy<reclaim::LeakyReclaimer> {
 template <>
 struct FingerPolicy<reclaim::EpochReclaimer> {
   static constexpr bool kSupported = true;
+  static constexpr bool kPublishes = false;
+  static constexpr int kPublishedEntries = 0;
   static std::uint64_t token(reclaim::EpochReclaimer& r) {
     // +1 keeps 0 free as the "empty entry" value even if a domain ever
     // started at epoch 0 (the default domain starts at kBuckets).
     return r.pinned_epoch() + 1;
+  }
+};
+
+template <>
+struct FingerPolicy<reclaim::HazardReclaimer> {
+  static constexpr bool kSupported = true;
+  static constexpr bool kPublishes = true;
+  // Retained slots available per thread: the list publishes one; the skip
+  // list fingers up to this many levels, one slot per level, each holding
+  // that level's pred's tower ROOT (see core/fr_skiplist.h::kFingerLevels).
+  static constexpr int kPublishedEntries = reclaim::HazardReclaimer::kFingerEntries;
+  static std::uint64_t token(reclaim::HazardReclaimer&) noexcept {
+    // Constant: the epoch pin expires between operations and per-pointer
+    // validation proves nothing for a cross-operation pointer, so no token
+    // can carry the proof. The retained-slot match in finger_reacquire is
+    // the actual validity argument (see reclaim/hazard.h).
+    return 1;
   }
 };
 

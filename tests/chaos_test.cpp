@@ -34,6 +34,7 @@
 #include "lf/instrument/counters.h"
 #include "lf/mem/pool.h"
 #include "lf/mem/tower.h"
+#include "lf/reclaim/hazard.h"
 #include "lf/reclaim/leaky.h"
 #include "lf/util/random.h"
 
@@ -305,6 +306,31 @@ TEST_F(ChaosTest, CrashMatrixFRSkipList) {
 // epoch stops advancing, which defers reclamation but never blocks).
 TEST_F(ChaosTest, CrashInEpochRetireDoesNotBlockSurvivors) {
   run_crash_site<lf::FRList<long, long>>(Site::kEpochRetire);
+}
+
+// Hazard-finger rows: publish / re-acquire / hop are new crash edges in the
+// publish-then-revalidate protocol. None of these sites fires while the
+// domain's registry lock is held, so a victim parked there can never block
+// a survivor's scan — parking it mid-publication (slot written, seqlock
+// possibly odd) at worst makes scanners skip that record's chain walk,
+// which only defers reclamation.
+TEST_F(ChaosTest, CrashMatrixFRListHazardFinger) {
+  using List =
+      lf::FRList<long, long, std::less<long>, lf::reclaim::HazardReclaimer>;
+  for (Site site : {Site::kListFingerValidate, Site::kListFingerFallback,
+                    Site::kListFingerPublish, Site::kHazardFingerReacquire,
+                    Site::kHazardFingerHop}) {
+    run_crash_site<List>(site);
+  }
+}
+
+TEST_F(ChaosTest, CrashMatrixFRSkipListHazardFinger) {
+  using Skip = lf::FRSkipList<long, long, std::less<long>,
+                              lf::reclaim::HazardReclaimer>;
+  for (Site site : {Site::kSkipFingerValidate, Site::kSkipFingerFallback,
+                    Site::kSkipFingerPublish}) {
+    run_crash_site<Skip>(site);
+  }
 }
 
 // ---- Allocation-failure injection ----------------------------------------

@@ -32,11 +32,19 @@
 #include "lf/core/fr_skiplist.h"
 #include "lf/core/fr_skiplist_rc.h"
 #include "lf/instrument/counters.h"
+#include "lf/reclaim/hazard.h"
 #include "lf/reclaim/leaky.h"
 
 namespace {
 
 using lf::stats::aggregate;
+using lf::reclaim::EpochDomain;
+using lf::reclaim::HazardDomain;
+using lf::reclaim::HazardReclaimer;
+
+using HPList = lf::FRList<long, long, std::less<long>, HazardReclaimer>;
+using HPSkipList =
+    lf::FRSkipList<long, long, std::less<long>, HazardReclaimer>;
 
 // ---- Fast path: repeated searches take zero traversal steps ---------------
 
@@ -74,6 +82,18 @@ TEST(Finger, RepeatedFindIsFreeFRListRC) {
 
 TEST(Finger, RepeatedFindIsFreeFRSkipListRC) {
   lf::FRSkipListRC<long, long> s;
+  expect_repeat_find_is_free(s);
+}
+
+// Hazard rows: publish-then-revalidate must preserve the zero-step fast
+// path — re-acquisition is a slot comparison, not a traversal.
+TEST(Finger, RepeatedFindIsFreeFRListHazard) {
+  HPList list;
+  expect_repeat_find_is_free(list);
+}
+
+TEST(Finger, RepeatedFindIsFreeFRSkipListHazard) {
+  HPSkipList s;
   expect_repeat_find_is_free(s);
 }
 
@@ -189,6 +209,173 @@ TEST(Finger, RecycledFingerRejectedByReuseStamp) {
   EXPECT_EQ(delta.finger_miss, 1u);
   EXPECT_TRUE(list.contains(99));
   EXPECT_TRUE(list.validate_counts());
+}
+
+// ---- Validation under hazard pointers (publish-then-revalidate) -----------
+
+// Backlink recovery with reclamation racing it: another thread erases the
+// fingered node and churns far past the scan threshold, so hazard scans run
+// while this thread's retained slot still names the node. The chain-
+// protecting scan must spare the node and its backlink chain; the next
+// search re-acquires the slot and recovers through the backlink — the
+// deterministic Leaky-row behavior, now with real reclamation in flight.
+TEST(Finger, HazardDeletedFingerRecoversThroughBacklink) {
+  HazardDomain hdom;  // must outlive edom: its drain feeds the hazard stage
+  EpochDomain edom;
+  HazardReclaimer rec(edom, hdom);
+  HPList list(rec);
+  for (long k : {10, 20, 30}) ASSERT_TRUE(list.insert(k, k));
+  ASSERT_TRUE(list.find(20).has_value());  // publishes finger -> node 20
+  std::thread eraser([&] {
+    ASSERT_TRUE(list.erase(20));
+    for (int r = 0; r < 64; ++r) {
+      for (long k = 100; k < 140; ++k) ASSERT_TRUE(list.insert(k, k));
+      for (long k = 100; k < 140; ++k) ASSERT_TRUE(list.erase(k));
+    }
+    edom.drain();  // push every grace-expired node into the hazard stage
+    hdom.scan();   // must spare node 20: the main thread's slot names it
+  });
+  eraser.join();
+  const auto before = aggregate();
+  EXPECT_FALSE(list.find(20).has_value());
+  const auto delta = aggregate() - before;
+  EXPECT_EQ(delta.finger_hit, 1u);  // recovered, not abandoned
+  EXPECT_GE(delta.backlink_traversal, 1u);
+  EXPECT_EQ(delta.finger_miss, 0u);
+  EXPECT_TRUE(list.validate().ok);
+}
+
+// Skip-list shape of the same property. Validation tries the lowest cached
+// level first, so the deleted target is re-found through its LEVEL-1 entry,
+// whose backlinks mirror the list's (upper entries never walk backlinks —
+// a marked upper pred falls through to the next level).
+TEST(Finger, HazardDeletedSkipFingerRecoversThroughBacklink) {
+  HazardDomain hdom;
+  EpochDomain edom;
+  HazardReclaimer rec(edom, hdom);
+  HPSkipList s(rec);
+  for (long k : {10, 20, 30}) ASSERT_TRUE(s.insert(k, k));
+  ASSERT_TRUE(s.find(20).has_value());
+  std::thread eraser([&] { ASSERT_TRUE(s.erase(20)); });
+  eraser.join();
+  const auto before = aggregate();
+  EXPECT_FALSE(s.find(20).has_value());
+  const auto delta = aggregate() - before;
+  EXPECT_EQ(delta.finger_hit, 1u);
+  EXPECT_TRUE(s.validate().ok);
+}
+
+// Multi-level hazard fingers (one retained slot per level, each holding
+// that level's pred's tower root — flat layout only): queries hopping
+// around a small window must mostly re-enter through a cached UPPER level,
+// something the level-1 entry alone cannot do (its window is ~1 key wide,
+// which on this stream would hit ~1/16th of the time). The 20% floor sits
+// well below the observed ~50% rate but far above the level-1 ceiling.
+TEST(Finger, HazardSkipListWindowQueriesReenterThroughUpperLevels) {
+  HazardDomain hdom;
+  EpochDomain edom;
+  HazardReclaimer rec(edom, hdom);
+  HPSkipList s(rec);
+  constexpr long kKeys = 4096;
+  for (long k = 0; k < kKeys; ++k) ASSERT_TRUE(s.insert(k, k));
+  const auto before = aggregate();
+  // 128 windows of 32 keys each, 16 hops per window. A single window's hit
+  // count is at the mercy of the (random) tower geometry inside it — a
+  // tall tower mid-window can block most upper-level re-entries — so the
+  // assertion averages across windows; only the aggregate is stable.
+  std::uint64_t queries = 0;
+  for (long w = 0; w < 128; ++w) {
+    const long base = (w * 509) % (kKeys - 32);  // scattered window bases
+    for (int i = 0; i < 16; ++i, ++queries)
+      ASSERT_TRUE(s.find(base + (i * 7) % 32).has_value());
+  }
+  const auto delta = aggregate() - before;
+  EXPECT_GT(delta.finger_hit, queries / 10);
+  EXPECT_TRUE(s.validate().ok);
+}
+
+// The ASan tripwire for publish-then-revalidate: a finger whose slot
+// publication was EVICTED (another structure's save on the same thread)
+// points at memory that a scan is then free to reclaim. The next reuse
+// attempt passes every deref-free check (instance, token, cached key) and
+// must be rejected by the slot-match re-acquisition WITHOUT touching the
+// freed node — under ASan a single dereference fails the whole suite.
+TEST(Finger, HazardEvictedFingerRejectedAfterReclamation) {
+  HazardDomain hdom;
+  EpochDomain edom;
+  HazardReclaimer rec(edom, hdom);
+  HPList a(rec);
+  HPList b(rec);  // consecutive instance ids: distinct TLS finger ways
+  for (long k : {10, 20, 30}) ASSERT_TRUE(a.insert(k, k));
+  ASSERT_TRUE(b.insert(5, 5));
+  ASSERT_TRUE(a.find(20).has_value());  // a's finger -> node 20, published
+  // A helper erases 20: the retirement is filed by another thread while the
+  // main thread's TLS entry for `a` keeps naming the node.
+  std::thread helper([&] { ASSERT_TRUE(a.erase(20)); });
+  helper.join();
+  // One retained slot per (thread, domain): b's save evicts a's
+  // publication. From here the cached pointer has no protection.
+  ASSERT_TRUE(b.find(5).has_value());
+  edom.drain();  // grace over: node 20 reaches the hazard stage
+  hdom.scan();   // no slot names it -> genuinely freed
+  const auto before = aggregate();
+  EXPECT_FALSE(a.find(20).has_value());
+  const auto delta = aggregate() - before;
+  EXPECT_EQ(delta.finger_miss, 1u);  // rejected by slot mismatch
+  EXPECT_EQ(delta.finger_hit, 0u);
+  EXPECT_TRUE(a.validate().ok);
+}
+
+// What the retained slot buys over the epoch token: churn that advances the
+// epoch many times (the exact scenario of ReclaimedFingerFallsBackToHead
+// above, where the strict-token epoch policy must miss) does NOT invalidate
+// a hazard finger, because the churning structure is FingerOff and never
+// evicts the slot.
+TEST(Finger, HazardFingerSurvivesEpochAdvance) {
+  using ChurnList = lf::FRList<long, long, std::less<long>, HazardReclaimer,
+                               lf::mem::PoolAlloc, lf::sync::FingerOff>;
+  HazardDomain hdom;
+  EpochDomain edom;
+  HazardReclaimer rec(edom, hdom);
+  HPList a(rec);
+  ChurnList b(rec);
+  for (long k = 0; k < 16; ++k) ASSERT_TRUE(a.insert(k, k));
+  ASSERT_TRUE(a.find(7).has_value());  // publishes the finger
+  for (int r = 0; r < 40; ++r) {
+    for (long k = 0; k < 64; ++k) ASSERT_TRUE(b.insert(k, k));
+    for (long k = 0; k < 64; ++k) ASSERT_TRUE(b.erase(k));
+  }
+  const auto before = aggregate();
+  EXPECT_TRUE(a.find(7).has_value());
+  const auto delta = aggregate() - before;
+  EXPECT_EQ(delta.finger_hit, 1u);  // slot match — epochs are irrelevant
+  EXPECT_EQ(delta.finger_miss, 0u);
+}
+
+// FingerOff under the hazard reclaimer stays statically zero-cost: no
+// finger counters move and nothing is ever published.
+TEST(Finger, FingerOffUnderHazardKeepsCountersAtZero) {
+  lf::FRList<long, long, std::less<long>, HazardReclaimer, lf::mem::PoolAlloc,
+             lf::sync::FingerOff>
+      list;
+  lf::FRSkipList<long, long, std::less<long>, HazardReclaimer, 24,
+                 lf::mem::FlatTowers, lf::sync::FingerOff>
+      s;
+  const auto before = aggregate();
+  for (long k = 0; k < 64; ++k) {
+    list.insert(k, k);
+    s.insert(k, k);
+  }
+  for (int r = 0; r < 4; ++r) {
+    for (long k = 0; k < 64; ++k) {
+      list.find(k);
+      s.find(k);
+    }
+  }
+  const auto delta = aggregate() - before;
+  EXPECT_EQ(delta.finger_hit, 0u);
+  EXPECT_EQ(delta.finger_miss, 0u);
+  EXPECT_EQ(delta.finger_skip, 0u);
 }
 
 // ---- Isolation: hints are per-instance, ids never reused ------------------
