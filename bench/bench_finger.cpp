@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "lf/core/fr_skiplist.h"
+#include "lf/core/fr_skiplist_rc.h"
 #include "lf/harness/bench_env.h"
 #include "lf/harness/json_writer.h"
 #include "lf/harness/table.h"
@@ -147,6 +148,51 @@ void run_hazard(std::vector<Row>& rows) {
   }
 }
 
+// The reference-counted variant (FRSkipListRC): stamp-validated fingers
+// over a type-stable arena. Its own class, so it gets its own run_one.
+template <typename Finger>
+Row run_one_rc(bool finger_on, const Workload& w, int threads) {
+  wl::RunConfig cfg;
+  cfg.threads = threads;
+  cfg.ops_per_thread = kOpsTotal / static_cast<std::uint64_t>(threads);
+  cfg.key_space = kKeySpace;
+  cfg.prefill = kPrefill;
+  cfg.mix = {10, 10};
+  cfg.dist = w.dist;
+  cfg.keygen = w.opts;
+  cfg.seed = 0xf168e4;
+  cfg.measure_contention = false;
+
+  lf::FRSkipListRC<long, long, std::less<long>, 24, Finger> set;
+  wl::prefill(set, cfg);
+  const auto res = wl::run_workload(set, cfg);
+
+  Row r;
+  r.layout = "arena";
+  r.reclaimer = "rc";
+  r.finger = finger_on;
+  r.workload = w.name;
+  r.threads = threads;
+  r.mops = res.mops_per_sec();
+  r.ns_per_op = res.total_ops == 0
+                    ? 0
+                    : res.seconds * 1e9 / static_cast<double>(res.total_ops);
+  r.steps_per_op = res.steps_per_op();
+  r.hit_rate = res.steps.finger_hit_rate();
+  r.skip_per_op = static_cast<double>(res.steps.finger_skip) /
+                  static_cast<double>(res.total_ops);
+  return r;
+}
+
+void run_rc(std::vector<Row>& rows) {
+  for (const Workload& w : kWorkloads) {
+    for (int threads : {1, 8, 16}) {
+      rows.push_back(run_one_rc<lf::sync::FingerOff>(false, w, threads));
+      rows.push_back(run_one_rc<lf::sync::FingerOn>(true, w, threads));
+    }
+  }
+}
+
 const Row* find_row(const std::vector<Row>& rows, const std::string& layout,
                     const std::string& reclaimer, bool finger,
                     const char* workload, int threads) {
@@ -201,6 +247,7 @@ int main() {
   run_layout<lf::mem::FlatTowers>("flat", rows);
   run_layout<lf::mem::ChainedTowers>("chained", rows);
   run_hazard(rows);
+  run_rc(rows);
 
   for (const Workload& w : kWorkloads) {
     lf::harness::print_section(std::string("workload: ") + w.name);
@@ -225,7 +272,7 @@ int main() {
     const char* reclaimer;
   };
   for (const Config& c : {Config{"flat", "epoch"}, Config{"chained", "epoch"},
-                          Config{"flat", "hazard"}}) {
+                          Config{"flat", "hazard"}, Config{"arena", "rc"}}) {
     for (const Workload& w : kWorkloads) {
       for (int threads : {1, 8, 16}) {
         const Row* off =

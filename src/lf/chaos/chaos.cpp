@@ -27,11 +27,13 @@ constexpr const char* kSiteNames[kSiteCount] = {
     "list/search_step",  "list/insert_cas",  "list/flag_cas",
     "list/mark_cas",     "list/unlink_cas",  "list/backlink_step",
     "list/help_flagged", "list/help_marked", "list/finger_validate",
-    "list/finger_fallback", "list/finger_publish", "skip/search_step",
+    "list/finger_fallback", "list/finger_publish", "list/finger_replace",
+    "skip/search_step",
     "skip/insert_cas",   "skip/flag_cas",    "skip/mark_cas",
     "skip/unlink_cas",   "skip/backlink_step", "skip/help_flagged",
     "skip/help_marked",  "skip/tower_build", "skip/finger_validate",
-    "skip/finger_fallback", "skip/finger_publish", "base/insert_cas",
+    "skip/finger_fallback", "skip/finger_publish", "skip/finger_replace",
+    "base/insert_cas",
     "base/mark_cas",     "base/unlink_cas",  "epoch/pin",
     "epoch/retire",      "epoch/advance",    "hazard/retire",
     "hazard/scan",       "hazard/finger_reacquire", "hazard/finger_hop",

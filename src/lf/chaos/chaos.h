@@ -64,8 +64,9 @@ enum class Site : int {
   kListFingerValidate,  // finger_start: cached hint qualified, about to be
                         // recovered/used (thread holds a validated finger)
   kListFingerFallback,  // finger_start: no usable hint, search starts at head
-  kListFingerPublish,   // search_entry: about to publish the saved finger
-                        // into the retained hazard slot (HazardReclaimer)
+  kListFingerPublish,   // save_finger: about to publish the way set
+  kListFingerReplace,   // save_finger: LFU-aging replacement picking a
+                        // victim way (no in-place refresh matched)
   // FRSkipList (core/fr_skiplist.h)
   kSkipSearchStep,
   kSkipInsertCas,
@@ -78,8 +79,9 @@ enum class Site : int {
   kSkipTowerBuild,  // insert: before linking the next tower level
   kSkipFingerValidate,  // finger_start: cached descent entry qualified
   kSkipFingerFallback,  // finger_start: no usable entry, head descent
-  kSkipFingerPublish,   // save_finger: about to publish the level-1 finger
-                        // into the retained hazard slot (HazardReclaimer)
+  kSkipFingerPublish,   // publish_fingers: about to publish the way sets
+  kSkipFingerReplace,   // save_finger: LFU-aging replacement picking a
+                        // victim way (no in-place refresh matched)
   // Baselines (harris_list.h / restart_skiplist.h) — E12 fault injection
   kBaseInsertCas,
   kBaseMarkCas,

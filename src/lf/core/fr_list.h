@@ -466,38 +466,57 @@ class FRList {
 
   // ---- Finger (search hint) layer — see sync/finger.h and DESIGN.md §10 --
   //
-  // Each thread remembers, per list instance, the n1 node its last search
-  // returned together with the reclaimer's validity token. The next
-  // top-level search starts there when (a) the token still proves the node
-  // is dereferenceable, and (b) the node's key is on the correct side of
-  // the new search key. A finger that was marked in the meantime is
+  // Each thread remembers, per list instance, a small set-associative cache
+  // of recent search results: kWays ways, each holding the n1 node a search
+  // returned together with the bracket of keys it serves ([n1.key,
+  // n2.key]) and the reclaimer's validity token. The next top-level search
+  // probes for the way whose bracket contains the new key — a hot-set
+  // repeat lands in its own way even when the hot keys are positionally
+  // scattered — falling back to the way with the closest key still left of
+  // k (any unmarked node with key < k is a valid start), and to the head
+  // when no way validates. A finger that was marked in the meantime is
   // recovered through its backlink chain — the exact recovery a failed C&S
-  // performs — and an unrecoverable one falls back to the head. Only the
-  // public entry points use fingers; the two-phase adversary hooks
-  // (insert_locate / insert_try_once / erase_begin) keep their head starts
-  // so the paper's lower-bound schedules stay reproducible.
+  // performs. Replacement is least-frequently-hit with aging
+  // (sync::finger_victim_pick); a bracket hit refreshes its own way in
+  // place and bumps its frequency counter. Only the public entry points use fingers; the
+  // two-phase adversary hooks (insert_locate / insert_try_once /
+  // erase_begin) keep their head starts so the paper's lower-bound
+  // schedules stay reproducible.
   //
   // Publishing policies (FingerPol::kPublishes — hazard pointers) replace
   // the token proof with publish-then-revalidate: the save additionally
-  // publishes the finger into the thread's retained hazard slot, reuse
-  // re-acquires it by slot match before the first dereference, and every
+  // publishes every way into the thread's retained hazard slots (way i in
+  // entry i; the refreshed way republishes a provably live node, the others
+  // are kept only if still continuously protected), reuse re-acquires the
+  // probed way by slot match before the first dereference, and every
   // backlink hop of a recovery walk is published into the hop slot before
   // it is followed (reclaim/hazard.h, DESIGN.md §10).
 
   using FingerPol = sync::FingerPolicy<Reclaimer>;
   static constexpr bool kFingerActive =
       Finger::kEnabled && FingerPol::kSupported;
+  static constexpr int kWays = sync::kFingerCacheWays;
+  static_assert(!FingerPol::kPublishes || kWays <= FingerPol::kPublishedWays,
+                "every list cache way needs its own retained hazard entry");
 
-  // The slot caches the node's key (immutable while the token validates,
-  // since a validating token proves the node unreclaimed) so the key-side
-  // check never touches a cold node: only a finger that passes it is
-  // dereferenced, for the mark check.
+  // Each way caches the node's key and its successor's key (immutable while
+  // the token validates, since a validating token proves the node
+  // unreclaimed) so bracket probing never touches a cold node: only the
+  // way that wins the probe is dereferenced, for the mark check.
   struct FingerSlot {
+    struct Way {
+      std::uint64_t token = 0;
+      Node* node = nullptr;
+      Key key{};              // bracket low end; meaningful unless is_head
+      Key succ_key{};         // bracket high end; meaningful unless succ_tail
+      bool is_head = false;   // head sentinel compares below every key
+      bool succ_tail = false; // tail sentinel compares above every key
+      std::uint8_t freq = 0;  // hit counter (aged by finger_victim_pick)
+    };
     std::uint64_t instance = 0;
-    std::uint64_t token = 0;
-    Node* node = nullptr;
-    Key key{};             // meaningful unless is_head
-    bool is_head = false;  // head sentinel compares below every key
+    Way way[kWays] = {};
+    unsigned hand = 0;   // tie rotation for victim selection
+    unsigned ticks = 0;  // replacements since the last aging pass
   };
 
   // Type-erased backlink-chain step for HazardDomain's chain-protecting
@@ -517,54 +536,134 @@ class FRList {
     if constexpr (kFingerActive) {
       auto& slot = sync::tls_finger_slot<FingerSlot>(finger_id_);
       const std::uint64_t token = FingerPol::token(reclaimer_);
-      Node* start = finger_start<Closed>(k, slot, token);
+      const auto [start, bracket] = finger_start<Closed>(k, slot, token);
       auto out = search_from<Closed>(k, start != nullptr ? start : head_);
-      // Save under the token of the CURRENT pin: everything reachable in
-      // this operation stays dereferenceable while that token revalidates.
-      slot.instance = finger_id_;
-      slot.token = token;
-      slot.node = out.first;
-      slot.is_head = out.first == head_;
-      if (!slot.is_head) slot.key = out.first->key;  // cache-warm read
-      if constexpr (FingerPol::kPublishes) {
-        // Publish-while-alive: out.first was found unmarked (hence still
-        // linked, hence unreclaimed) under the current guard, so this
-        // publication starts from a provably live node — the invariant the
-        // scan-side chain-protection argument rests on. The head sentinel
-        // is published too (it is never retired; uniformity is simpler).
-        LF_CHAOS_POINT(kListFingerPublish);
-        reclaimer_.finger_publish(out.first, &finger_chain_walker,
-                                  finger_id_);
-      }
+      save_finger(slot, token, out, bracket);
       return out;
     } else {
       return search_from<Closed>(k, head_);
     }
   }
 
-  // Returns a validated start node with key < k (Closed: key <= k), or
-  // nullptr for a head start. Counts hits/misses; backlink hops taken here
-  // are charged as regular recovery steps.
+  // Save this search's result into the way cache, under the token of the
+  // CURRENT pin (everything reachable in this operation stays
+  // dereferenceable while that token revalidates). A way already caching
+  // the same node is refreshed in place, as is the bracket way that served
+  // this search (its new bracket is a tightened subrange of the old one);
+  // otherwise a clock victim is replaced.
+  void save_finger(FingerSlot& slot, std::uint64_t token,
+                   const std::pair<Node*, Node*>& out, int bracket) const {
+    if (slot.instance != finger_id_) {
+      slot = FingerSlot{};  // claim: stale ways must never be probed
+      slot.instance = finger_id_;
+    }
+    int w = -1;
+    for (int i = 0; i < kWays; ++i)
+      if (slot.way[i].node == out.first) { w = i; break; }
+    if (w < 0) w = bracket;
+    const bool refresh = w >= 0;
+    if (!refresh) {
+      LF_CHAOS_POINT(kListFingerReplace);
+      w = sync::finger_victim_pick(
+          slot.way, kWays, slot.hand, slot.ticks,
+          [](const typename FingerSlot::Way& e) {
+            return e.node == nullptr;
+          });
+    }
+    auto& e = slot.way[w];
+    e.token = token;
+    e.node = out.first;
+    e.is_head = out.first == head_;
+    if (!e.is_head) e.key = out.first->key;  // cache-warm reads
+    e.succ_tail = out.second->kind == Node::Kind::kTail;
+    if (!e.succ_tail) e.succ_key = out.second->key;
+    // A refreshed way keeps earning frequency; a brand-new way starts at
+    // zero — the next replacement's prime victim unless it earns a hit
+    // first — so one-shot cold keys recycle through a de-facto probation
+    // way instead of eroding the retained hot set.
+    if (refresh) sync::finger_freq_bump(e.freq);
+    else e.freq = 0;
+    if constexpr (FingerPol::kPublishes) {
+      // Publish-while-alive: out.first was found unmarked (hence still
+      // linked, hence unreclaimed) under the current guard, so way w's
+      // publication starts from a provably live node — the invariant the
+      // scan-side chain-protection argument rests on. (The head sentinel
+      // is published too; it is never retired, and uniformity is simpler.)
+      // The OTHER ways were not revalidated by this operation, so each is
+      // kept only if its retained slot still holds it — continuous
+      // protection — and dropped (entry nulled, way killed) otherwise;
+      // republishing the same pointer into the same slot keeps the
+      // protection gapless.
+      LF_CHAOS_POINT(kListFingerPublish);
+      void* nodes[kWays];
+      for (int i = 0; i < kWays; ++i) {
+        auto& wi = slot.way[i];
+        if (wi.node == nullptr) {
+          nodes[i] = nullptr;
+        } else if (i == w ||
+                   reclaimer_.finger_reacquire(wi.node, finger_id_, i)) {
+          nodes[i] = wi.node;
+        } else {
+          nodes[i] = nullptr;
+          wi.node = nullptr;
+        }
+      }
+      reclaimer_.finger_publish(nodes, kWays, &finger_chain_walker,
+                                finger_id_, kWays);
+    }
+  }
+
+  // Returns {start, way}: a validated start node with key < k (Closed:
+  // key <= k) or nullptr for a head start, plus the index of the bracket
+  // way that served it (-1 when the start came from the key-side fallback
+  // or the head). Counts one hit or miss per search; backlink hops taken
+  // here are charged as regular recovery steps.
   template <bool Closed>
-  Node* finger_start(const Key& k, FingerSlot& slot,
-                     std::uint64_t token) const {
+  std::pair<Node*, int> finger_start(const Key& k, FingerSlot& slot,
+                                     std::uint64_t token) const {
     auto& c = stats::tls();
-    if (slot.instance == finger_id_ && slot.node != nullptr &&
-        slot.token == token &&
-        (slot.is_head ||
-         (Closed ? !comp_(k, slot.key) : comp_(slot.key, k)))) {
-      // Publishing policies must re-acquire the retained hazard slot BEFORE
-      // the first dereference: a slot mismatch means protection was not
-      // continuous (evicted by another structure's save on this thread, or
-      // invalidated), so the cached pointer may be freed memory — fail
-      // closed to the head without touching it. Note every check up to
-      // here (instance, token, cached key) is deref-free by construction.
-      bool reacquired = true;
-      if constexpr (FingerPol::kPublishes)
-        reacquired = reclaimer_.finger_reacquire(slot.node, finger_id_);
-      if (reacquired) {
+    if (slot.instance == finger_id_) {
+      // Deref-free probe over the cached brackets: prefer the way whose
+      // bracket [key, succ_key] contains k (the tightest such way, by pred
+      // key); otherwise the way with the largest key still on the correct
+      // side of k. Every check here reads only TLS-cached fields.
+      int bracket = -1, fallback = -1;
+      for (int i = 0; i < kWays; ++i) {
+        const auto& e = slot.way[i];
+        if (e.node == nullptr || e.token != token) continue;
+        if (!(e.is_head ||
+              (Closed ? !comp_(k, e.key) : comp_(e.key, k))))
+          continue;  // wrong side of k
+        if (e.succ_tail || !comp_(e.succ_key, k)) {  // k <= succ_key
+          if (bracket < 0 ||
+              (!e.is_head && (slot.way[bracket].is_head ||
+                              comp_(slot.way[bracket].key, e.key))))
+            bracket = i;
+        } else if (fallback < 0 ||
+                   (!e.is_head && (slot.way[fallback].is_head ||
+                                   comp_(slot.way[fallback].key, e.key)))) {
+          fallback = i;
+        }
+      }
+      const int candidates[2] = {bracket, fallback};
+      for (int ci = 0; ci < 2; ++ci) {
+        const int i = candidates[ci];
+        if (i < 0) continue;
+        auto& e = slot.way[i];
+        if (e.node == nullptr) continue;
+        // Publishing policies must re-acquire the retained hazard entry
+        // BEFORE the first dereference: a slot mismatch means protection
+        // was not continuous (evicted by another structure's save on this
+        // thread, or invalidated), so the cached pointer may be freed
+        // memory — kill the way without touching it.
+        if constexpr (FingerPol::kPublishes) {
+          if (!reclaimer_.finger_reacquire(e.node, finger_id_, i)) {
+            e.node = nullptr;
+            continue;
+          }
+        }
         LF_CHAOS_POINT(kListFingerValidate);
-        Node* start = slot.node;
+        Node* start = e.node;
         std::uint64_t chain = 0;
         while (start->succ.load().mark) {
           Node* back = start->backlink.load(std::memory_order_acquire);
@@ -572,7 +671,7 @@ class FRList {
           if constexpr (FingerPol::kPublishes) {
             // Publish the hop before dereferencing it (its liveness is
             // already guaranteed by the chain-protecting scan while the
-            // finger slot is held; see reclaim/hazard.h).
+            // finger entry is held; see reclaim/hazard.h).
             LF_CHAOS_POINT(kHazardFingerHop);
             reclaimer_.finger_protect_hop(back);
           }
@@ -582,14 +681,15 @@ class FRList {
         }
         if (chain > 0) stats::chain_hist_tls().record(chain);
         if (!start->succ.load().mark) {
+          sync::finger_freq_bump(e.freq);
           c.finger_hit.inc();
-          return start;
+          return {start, i == bracket ? i : -1};
         }
       }
     }
     LF_CHAOS_POINT(kListFingerFallback);
     c.finger_miss.inc();
-    return nullptr;
+    return {nullptr, -1};
   }
 
   // ---- SEARCHFROM (Figure 3) --------------------------------------------

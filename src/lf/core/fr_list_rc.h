@@ -125,7 +125,7 @@ class FRListRC {
 
   bool insert(const Key& k, T value) {
     auto [prev, next] = search_from<true>(k, finger_entry<true>(k));
-    save_finger(prev);
+    save_finger(prev, next);
     if (node_eq(prev, k)) {
       release(prev);
       release(next);
@@ -173,7 +173,7 @@ class FRListRC {
 
   bool erase(const Key& k) {
     auto [prev, del] = search_from<false>(k, finger_entry<false>(k));
-    save_finger(prev);
+    save_finger(prev, del);
     bool erased = false;
     if (node_eq(del, k)) {
       auto [flag_prev, result] = try_flag(prev, del);  // consumes prev
@@ -189,7 +189,7 @@ class FRListRC {
 
   std::optional<T> find(const Key& k) const {
     auto [curr, next] = search_from<true>(k, finger_entry<true>(k));
-    save_finger(curr);
+    save_finger(curr, next);
     std::optional<T> out;
     if (node_eq(curr, k)) out.emplace(curr->value);
     release(curr);
@@ -346,11 +346,27 @@ class FRListRC {
   // ---- finger (search hint) layer -----------------------------------------
 
   static constexpr bool kFingerActive = Finger::kEnabled;
+  static constexpr int kWays = sync::kFingerCacheWays;
 
+  // A set-associative way cache (sync/finger.h): each way remembers a
+  // recent search result with the bracket of keys it serves. The keys are
+  // CACHED COPIES so the probe is deref-free; they are trusted only after
+  // a successful finger_try_hold with an equal stamp, which proves the
+  // same incarnation (hence the same key) — see finger_entry.
   struct FingerSlot {
+    struct Way {
+      Node* node = nullptr;
+      std::uint64_t stamp = 0;
+      Key key{};               // bracket low end; meaningful unless is_head
+      Key succ_key{};          // bracket high end; meaningful unless succ_tail
+      bool is_head = false;
+      bool succ_tail = false;
+      std::uint8_t freq = 0;   // hit counter (aged by finger_victim_pick)
+    };
     std::uint64_t instance = 0;
-    std::uint64_t stamp = 0;
-    Node* node = nullptr;
+    Way way[kWays] = {};
+    unsigned hand = 0;   // tie rotation for victim selection
+    unsigned ticks = 0;  // replacements since the last aging pass
   };
 
   // Try to re-acquire a counted reference on a saved finger. Returns true
@@ -381,27 +397,62 @@ class FRListRC {
     return true;
   }
 
-  // Counted start node for a top-level search: a validated finger, or the
-  // head. The returned reference is consumed by search_from.
+  // Counted start node for a top-level search: a validated way from the
+  // finger cache, or the head. The returned reference is consumed by
+  // search_from.
+  //
+  // The probe is deref-free over the cached bracket keys (prefer the way
+  // whose [key, succ_key] contains k — tightest first — then the way with
+  // the largest key still left of k); only a winning candidate pays the
+  // counted finger_try_hold. An equal stamp proves the same incarnation,
+  // so the cached key IS the node's key and the probe's qualification
+  // holds retroactively; any hold/stamp failure kills the way and the next
+  // candidate is tried.
   template <bool Closed>
   Node* finger_entry(const Key& k) const {
     if constexpr (kFingerActive) {
       auto& c = stats::tls();
       auto& slot = sync::tls_finger_slot<FingerSlot>(finger_id_);
-      if (slot.instance == finger_id_ && slot.node != nullptr &&
-          finger_try_hold(slot.node, slot.stamp)) {
-        Node* start = slot.node;
-        LF_CHAOS_POINT(kListFingerValidate);
-        // Key read is safe only AFTER the hold (same incarnation, and the
-        // held count keeps allocate() from rewriting it).
-        if (Closed ? node_le(start, k) : node_lt(start, k)) {
+      if (slot.instance == finger_id_) {
+        int bracket = -1, fallback = -1;
+        for (int i = 0; i < kWays; ++i) {
+          const auto& e = slot.way[i];
+          if (e.node == nullptr) continue;
+          if (!(e.is_head ||
+                (Closed ? !comp_(k, e.key) : comp_(e.key, k))))
+            continue;  // wrong side of k
+          if (e.succ_tail || !comp_(e.succ_key, k)) {  // k <= succ_key
+            if (bracket < 0 ||
+                (!e.is_head && (slot.way[bracket].is_head ||
+                                comp_(slot.way[bracket].key, e.key))))
+              bracket = i;
+          } else if (fallback < 0 ||
+                     (!e.is_head &&
+                      (slot.way[fallback].is_head ||
+                       comp_(slot.way[fallback].key, e.key)))) {
+            fallback = i;
+          }
+        }
+        const int candidates[2] = {bracket, fallback};
+        for (int ci = 0; ci < 2; ++ci) {
+          const int i = candidates[ci];
+          if (i < 0) continue;
+          auto& e = slot.way[i];
+          if (e.node == nullptr) continue;
+          if (!finger_try_hold(e.node, e.stamp)) {
+            e.node = nullptr;  // recycled since the save: dead way
+            continue;
+          }
+          Node* start = e.node;
+          LF_CHAOS_POINT(kListFingerValidate);
           walk_backlinks(start);  // marked finger: recover leftward
           if (!start->succ.load().mark) {
+            sync::finger_freq_bump(e.freq);
             c.finger_hit.inc();
             return start;
           }
+          release(start);
         }
-        release(start);
       }
       LF_CHAOS_POINT(kListFingerFallback);
       c.finger_miss.inc();
@@ -409,15 +460,42 @@ class FRListRC {
     return acquire(head_);
   }
 
-  // Remember a node the caller currently holds as this thread's next search
-  // start. Only the raw pointer and stamp are kept — no count survives the
-  // caller's release — so quiescent count accounting is unaffected.
-  void save_finger(Node* n) const {
+  // Remember a node the caller currently holds (with its successor, for
+  // the bracket) as a way of this thread's finger cache. Only raw
+  // pointers, keys, and stamps are kept — no count survives the caller's
+  // release — so quiescent count accounting is unaffected. A way already
+  // caching the same node is refreshed in place; otherwise clock
+  // replacement picks a victim.
+  void save_finger(Node* n, Node* succ) const {
     if constexpr (kFingerActive) {
       auto& slot = sync::tls_finger_slot<FingerSlot>(finger_id_);
-      slot.instance = finger_id_;
-      slot.node = n;
-      slot.stamp = n->stamp.load(std::memory_order_acquire);
+      if (slot.instance != finger_id_) {
+        slot = FingerSlot{};  // claim: stale ways must never be probed
+        slot.instance = finger_id_;
+      }
+      int w = -1;
+      for (int i = 0; i < kWays; ++i)
+        if (slot.way[i].node == n) { w = i; break; }
+      const bool refresh = w >= 0;
+      if (!refresh) {
+        LF_CHAOS_POINT(kListFingerReplace);
+        w = sync::finger_victim_pick(
+            slot.way, kWays, slot.hand, slot.ticks,
+            [](const typename FingerSlot::Way& e) {
+              return e.node == nullptr;
+            });
+      }
+      auto& e = slot.way[w];
+      e.node = n;
+      e.stamp = n->stamp.load(std::memory_order_acquire);
+      e.is_head = n->kind == Node::Kind::kHead;
+      if (!e.is_head) e.key = n->key;
+      e.succ_tail = succ->kind == Node::Kind::kTail;
+      if (!e.succ_tail) e.succ_key = succ->key;
+      // New ways start at frequency zero (probation); refreshes bump, so
+      // the hot set is retained against the cold-miss flow.
+      if (refresh) sync::finger_freq_bump(e.freq);
+      else e.freq = 0;
     }
   }
 

@@ -46,14 +46,19 @@
 namespace lf {
 
 // `Finger` (sync::FingerOn / sync::FingerOff) statically enables the
-// thread-local search-hint layer. The counted variant caches only the
-// LEVEL-1 position of the last search: re-validating one node per reuse
-// (count + reuse stamp, see finger_try_hold) is cheap, while a per-level
-// cache would pay a counted re-acquisition per level. Level-1 searches —
-// find, and the locate phases of insert and erase — are where the descent
-// is longest, so they carry almost all of the win; upper-level searches
-// (tower building, erase's cleanup pass) keep their full head descent,
-// which also preserves the superfluous-tower sweep above level 1.
+// thread-local search-hint layer: a set-associative cache of recent
+// descent positions over the lowest fingered levels, kWays bracket-keyed
+// ways per level (sync/finger.h), mirroring the epoch variant's shape.
+// Probing is deref-free over cached bracket keys; only the way that wins a
+// level's probe pays the counted re-acquisition (count + reuse stamp, see
+// finger_try_hold), whose stamp equality retroactively validates the
+// cached keys — so the multi-level cache costs at most one counted hold
+// per search, the same as the old level-1-only hint. Unlike the hazard
+// variant, a marked pred can recover through backlinks at ANY level (every
+// node is individually counted, so safe reads need no retired-address
+// argument). Erase's tower-cleanup pass keeps its full head descent
+// (min_finger_level = MaxLevel), which preserves the superfluous-tower
+// sweep above level 1.
 template <typename Key, typename T = Key, typename Compare = std::less<Key>,
           int MaxLevel = 24, typename Finger = sync::FingerOn>
 class FRSkipListRC {
@@ -185,7 +190,9 @@ class FRSkipListRC {
     if (node_eq(del, k)) {
       erased = delete_node_at(prev, del);
       if (erased) {
-        auto [p2, n2] = search_to_level<true>(k, 2);  // tower cleanup
+        // Tower cleanup: full head descent (min_finger_level = MaxLevel),
+        // so the superfluous-tower sweep starts above every tower.
+        auto [p2, n2] = search_to_level<true>(k, 2, MaxLevel);
         release(p2);
         release(n2);
       }
@@ -401,11 +408,30 @@ class FRSkipListRC {
   // ---- finger (search hint) layer ------------------------------------------
 
   static constexpr bool kFingerActive = Finger::kEnabled;
+  static constexpr int kWays = sync::kFingerCacheWays;
+  static constexpr int kFingerLevels =
+      4 < kMaxTowerHeight ? 4 : kMaxTowerHeight;
 
+  // Ways cache the bracket KEYS alongside the pred pointer; the probe is
+  // deref-free, and the keys are trusted only after finger_try_hold
+  // succeeds with an equal stamp (same incarnation => same key).
   struct FingerSlot {
     std::uint64_t instance = 0;
-    std::uint64_t stamp = 0;
-    Node* node = nullptr;  // a level-1 node (or head_[1])
+    struct Entry {
+      Node* pred = nullptr;
+      std::uint64_t stamp = 0;
+      Key pred_key{};  // meaningful unless pred_head
+      Key succ_key{};  // meaningful unless succ_tail
+      bool pred_head = false;
+      bool succ_tail = false;
+      std::uint8_t freq = 0;  // hit counter (aged by finger_victim_pick)
+    };
+    struct Level {
+      Entry way[kWays] = {};
+      unsigned hand = 0;   // tie rotation for victim selection
+      unsigned ticks = 0;  // replacements since the last aging pass
+    };
+    Level level[kFingerLevels + 1];  // [1..kFingerLevels]; [0] unused
   };
 
   // Identical protocol to fr_list_rc.h::finger_try_hold; the soundness
@@ -425,65 +451,139 @@ class FRSkipListRC {
     return true;
   }
 
-  // Counted level-1 start node for a bottom-level search, or nullptr to
-  // request the normal head descent.
+  // Level the plain head descent would enter at.
+  int head_entry_level(int v) const noexcept {
+    int curr_v = top_hint_.load(std::memory_order_relaxed) + 1;
+    if (curr_v > MaxLevel) curr_v = MaxLevel;
+    if (curr_v < v) curr_v = v;
+    return curr_v;
+  }
+
+  // Picks a validated, COUNTED entry point: (start node, level), or
+  // (nullptr, 0) for a head descent. Scans cached levels from
+  // max(v, min_level) upward, probing each level's ways deref-free
+  // (bracket containing k, tightest pred key first) and paying a counted
+  // finger_try_hold only for the probe winner; a hold/stamp failure kills
+  // the way and falls through to the next level. Hit/miss accounting
+  // covers exactly the finger-eligible searches (lo <= kFingerLevels) —
+  // see fr_skiplist.h::finger_start.
   template <bool Closed>
-  Node* finger_entry(const Key& k) const {
+  std::pair<Node*, int> finger_start(const Key& k, int v,
+                                     int min_level) const {
     auto& c = stats::tls();
+    const int lo = min_level > v ? min_level : v;
+    if (lo > kFingerLevels) return {nullptr, 0};  // never eligible
     auto& slot = sync::tls_finger_slot<FingerSlot>(finger_id_);
-    if (slot.instance == finger_id_ && slot.node != nullptr &&
-        finger_try_hold(slot.node, slot.stamp)) {
-      Node* start = slot.node;
-      LF_CHAOS_POINT(kSkipFingerValidate);
-      if (Closed ? node_le(start, k) : node_lt(start, k)) {
-        walk_backlinks(start);  // marked finger: recover leftward
-        if (!start->succ.load().mark) {
-          c.finger_hit.inc();
-          // Levels not descended relative to a head start.
-          int head_v = top_hint_.load(std::memory_order_relaxed) + 1;
-          if (head_v > MaxLevel) head_v = MaxLevel;
-          if (head_v > 1) {
-            c.finger_skip.inc(static_cast<std::uint64_t>(head_v - 1));
-          }
-          return start;
+    if (slot.instance == finger_id_) {
+      for (int lvl = lo; lvl <= kFingerLevels; ++lvl) {
+        auto& lv = slot.level[lvl];
+        // Equality admitted only for a Closed level-1 search at its own
+        // target (same superfluous-node argument as fr_skiplist.h).
+        const bool allow_eq = Closed && lvl == v && v == 1;
+        int w = -1;
+        for (int i = 0; i < kWays; ++i) {
+          const auto& e = lv.way[i];
+          if (e.pred == nullptr) continue;
+          if (!e.pred_head &&
+              (allow_eq ? comp_(k, e.pred_key) : !comp_(e.pred_key, k)))
+            continue;
+          if (!e.succ_tail && comp_(e.succ_key, k)) continue;
+          if (w < 0 ||
+              (!e.pred_head && (lv.way[w].pred_head ||
+                                comp_(lv.way[w].pred_key, e.pred_key))))
+            w = i;
         }
+        if (w < 0) continue;
+        auto& e = lv.way[w];
+        if (!finger_try_hold(e.pred, e.stamp)) {
+          e.pred = nullptr;  // recycled since the save: dead way
+          continue;
+        }
+        Node* start = e.pred;
+        LF_CHAOS_POINT(kSkipFingerValidate);
+        // Marked pred: recover leftward. Sound at ANY level here — every
+        // node is individually counted, so the walk's safe reads need no
+        // retired-address argument (unlike the hazard variant).
+        walk_backlinks(start);
+        if (start->succ.load().mark) {
+          release(start);
+          continue;  // try the next level up
+        }
+        sync::finger_freq_bump(e.freq);
+        c.finger_hit.inc();
+        const int head_v = head_entry_level(v);
+        if (head_v > lvl)
+          c.finger_skip.inc(static_cast<std::uint64_t>(head_v - lvl));
+        return {start, lvl};
       }
-      release(start);
     }
     LF_CHAOS_POINT(kSkipFingerFallback);
     c.finger_miss.inc();
-    return nullptr;
+    return {nullptr, 0};
   }
 
-  void save_finger(Node* n) const {
+  // Remember the (pred, succ) pair a level's SearchRight returned — both
+  // held by the caller — as a way of this level's set. Only raw pointers,
+  // keys, and stamps are kept; no count survives the caller's release.
+  void save_finger(int lvl, Node* pred, Node* succ) const {
     if constexpr (kFingerActive) {
+      if (lvl > kFingerLevels) return;
       auto& slot = sync::tls_finger_slot<FingerSlot>(finger_id_);
-      slot.instance = finger_id_;
-      slot.node = n;
-      slot.stamp = n->stamp.load(std::memory_order_acquire);
+      if (slot.instance != finger_id_) {
+        // Claim the direct-mapped TLS slot: ways from another instance
+        // must never be probed as ours.
+        for (int l = 1; l <= kFingerLevels; ++l)
+          slot.level[l] = typename FingerSlot::Level();
+        slot.instance = finger_id_;
+      }
+      auto& lv = slot.level[lvl];
+      int w = -1;
+      for (int i = 0; i < kWays; ++i)
+        if (lv.way[i].pred == pred) { w = i; break; }
+      const bool refresh = w >= 0;
+      if (!refresh) {
+        LF_CHAOS_POINT(kSkipFingerReplace);
+        w = sync::finger_victim_pick(
+            lv.way, kWays, lv.hand, lv.ticks,
+            [](const typename FingerSlot::Entry& e) {
+              return e.pred == nullptr;
+            });
+      }
+      auto& e = lv.way[w];
+      e.pred = pred;
+      e.stamp = pred->stamp.load(std::memory_order_acquire);
+      e.pred_head = pred->kind == Node::Kind::kHead;
+      if (!e.pred_head) e.pred_key = pred->key;
+      e.succ_tail = succ->kind == Node::Kind::kTail;
+      if (!e.succ_tail) e.succ_key = succ->key;
+      // New ways start at frequency zero (probation); refreshes bump, so
+      // the hot set is retained against the cold-miss flow.
+      if (refresh) sync::finger_freq_bump(e.freq);
+      else e.freq = 0;
     }
   }
 
   // ---- skip-list search (counted) ------------------------------------------
 
-  // Returns counted (n1, n2) on level v.
+  // Returns counted (n1, n2) on level v. min_finger_level lets erase's
+  // tower-cleanup sweep refuse finger entry points entirely (it passes
+  // MaxLevel): the sweep must descend from above the tower it clears, and
+  // the RC variant does not track tower tops, so any finger entry could
+  // skip superfluous nodes above it.
   template <bool Closed>
-  std::pair<Node*, Node*> search_to_level(const Key& k, int v) const {
-    if constexpr (kFingerActive) {
-      if (v == 1) {
-        if (Node* start = finger_entry<Closed>(k)) {
-          auto out = search_right<Closed>(k, start);  // consumes start
-          save_finger(out.first);
-          return out;
-        }
-      }
+  std::pair<Node*, Node*> search_to_level(const Key& k, int v,
+                                          int min_finger_level = 0) const {
+    Node* curr = nullptr;
+    int curr_v = 0;
+    if constexpr (kFingerActive)
+      std::tie(curr, curr_v) = finger_start<Closed>(k, v, min_finger_level);
+    if (curr == nullptr) {
+      curr_v = head_entry_level(v);
+      curr = acquire(head_[curr_v]);
     }
-    int curr_v = top_hint_.load(std::memory_order_relaxed) + 1;
-    if (curr_v > MaxLevel) curr_v = MaxLevel;
-    if (curr_v < v) curr_v = v;
-    Node* curr = acquire(head_[curr_v]);
     while (curr_v > v) {
       auto [c2, n2] = search_right<false>(k, curr);  // consumes curr
+      if constexpr (kFingerActive) save_finger(curr_v, c2, n2);
       release(n2);
       // Descend: c2->down is an immutable counted link, so its target is
       // alive while we hold c2; take a reference before letting c2 go.
@@ -493,9 +593,7 @@ class FRSkipListRC {
       --curr_v;
     }
     auto out = search_right<Closed>(k, curr);
-    if constexpr (kFingerActive) {
-      if (v == 1) save_finger(out.first);
-    }
+    if constexpr (kFingerActive) save_finger(v, out.first, out.second);
     return out;
   }
 

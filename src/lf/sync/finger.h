@@ -1,6 +1,19 @@
-// Finger (search-hint) layer: per-thread, per-structure memory of where the
-// last search ended, so the next search can start there instead of at the
-// head.
+// Finger (search-hint) layer: per-thread, per-structure memory of where
+// recent searches ended, so the next search can start there instead of at
+// the head.
+//
+// Since PR 5 the memory is a small set-associative cache rather than a
+// single hint: each (thread, instance) slot holds kFingerCacheWays entries,
+// keyed by the bracket of keys the cached position serves ([pred_key,
+// succ_key]), with least-frequently-hit-with-aging replacement
+// (finger_victim_pick below). A search probes for the way whose cached
+// bracket contains the target key, validates ONLY that way with the
+// reclaimer-specific protocol below, and falls back to the head on a miss.
+// This is what serves skewed-but-scattered (zipf) hot sets: a single
+// finger thrashes when the hot keys are popular but far apart, while k
+// ways hold k disjoint hot brackets simultaneously — provided replacement
+// is frequency-aware, since the zipf tail's miss flow laps any
+// recency-only policy before the hot keys recur.
 //
 // The paper's machinery makes this safe almost for free: a stale hint is
 // self-identifying (its mark bit is set), and a marked node carries a
@@ -45,9 +58,10 @@
 //                    was continuous since a moment the node was provably
 //                    alive, so it is still dereferenceable; any mismatch
 //                    fails closed to a head start without dereferencing.
-//                    (The skip list retains one slot per fingered level —
-//                    kPublishedEntries of them — each holding that level's
-//                    pred's tower root.)
+//                    (The structures retain one slot per cache way — the
+//                    skip list one GROUP of kPublishedWays ways per
+//                    fingered level, kPublishedEntries in total — each
+//                    holding that way's pred's tower root.)
 //                    A marked primary finger recovers through its backlink chain
 //                    with each hop published into the hop slot, and the
 //                    domain's scan protects the whole published chain
@@ -105,6 +119,8 @@ struct FingerPolicy {
   static constexpr bool kSupported = false;
   static constexpr bool kPublishes = false;
   static constexpr int kPublishedEntries = 0;
+  static constexpr int kPublishedGroups = 0;
+  static constexpr int kPublishedWays = 0;
   static std::uint64_t token(Reclaimer&) noexcept { return 0; }
 };
 
@@ -113,6 +129,8 @@ struct FingerPolicy<reclaim::LeakyReclaimer> {
   static constexpr bool kSupported = true;
   static constexpr bool kPublishes = false;
   static constexpr int kPublishedEntries = 0;
+  static constexpr int kPublishedGroups = 0;
+  static constexpr int kPublishedWays = 0;
   static std::uint64_t token(reclaim::LeakyReclaimer&) noexcept {
     return 1;  // nodes are immortal: every saved finger stays valid
   }
@@ -123,6 +141,8 @@ struct FingerPolicy<reclaim::EpochReclaimer> {
   static constexpr bool kSupported = true;
   static constexpr bool kPublishes = false;
   static constexpr int kPublishedEntries = 0;
+  static constexpr int kPublishedGroups = 0;
+  static constexpr int kPublishedWays = 0;
   static std::uint64_t token(reclaim::EpochReclaimer& r) {
     // +1 keeps 0 free as the "empty entry" value even if a domain ever
     // started at epoch 0 (the default domain starts at kBuckets).
@@ -134,10 +154,14 @@ template <>
 struct FingerPolicy<reclaim::HazardReclaimer> {
   static constexpr bool kSupported = true;
   static constexpr bool kPublishes = true;
-  // Retained slots available per thread: the list publishes one; the skip
-  // list fingers up to this many levels, one slot per level, each holding
-  // that level's pred's tower ROOT (see core/fr_skiplist.h::kFingerLevels).
+  // Retained slots available per thread, as kPublishedGroups groups of
+  // kPublishedWays cache ways (entry index = group * ways + way): the list
+  // publishes group 0 (its level-1 way set); the skip list fingers up to
+  // kPublishedGroups levels, one group per level, each entry holding that
+  // way's pred's tower ROOT (see core/fr_skiplist.h::kFingerLevels).
   static constexpr int kPublishedEntries = reclaim::HazardReclaimer::kFingerEntries;
+  static constexpr int kPublishedGroups = reclaim::HazardReclaimer::kFingerGroups;
+  static constexpr int kPublishedWays = reclaim::HazardReclaimer::kFingerWays;
   static std::uint64_t token(reclaim::HazardReclaimer&) noexcept {
     // Constant: the epoch pin expires between operations and per-pointer
     // validation proves nothing for a cross-operation pointer, so no token
@@ -155,16 +179,64 @@ inline std::uint64_t next_finger_instance() noexcept {
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
 
+// Set associativity of the per-(thread, instance) finger cache: how many
+// bracket-keyed entries each structure keeps per level. Matches the hazard
+// domain's per-group way budget so a publishing policy can retain every way
+// in its own slot (static_asserted at the use sites).
+inline constexpr int kFingerCacheWays = 4;
+
+// Replacement halves all frequency counters every kFingerAgePeriod
+// replacements, so a way's retention tracks its RECENT hit rate and a
+// once-hot way that went cold decays back to eviction candidacy.
+inline constexpr unsigned kFingerAgePeriod = 32;
+
+// Saturating bump of a way's frequency counter (called on every probe hit
+// and in-place refresh).
+inline void finger_freq_bump(std::uint8_t& freq) noexcept {
+  if (freq != 0xff) ++freq;
+}
+
+// Victim selection over a way array: least-frequently-hit with aging
+// (GCLOCK). Prefers an empty way (`is_empty(way)`); otherwise picks the
+// way with the smallest `freq` counter, scanning from `hand` so ties
+// rotate. New ways are inserted with freq == 0 — the next replacement
+// evicts them unless they earn a hit first — which is what lets a skewed
+// key stream keep its hot set resident: pure recency (plain clock) cannot,
+// because under a zipf tail the hand circles faster than even the hottest
+// key recurs, while here cold one-shot entries are recycled through a
+// de-facto probation way and the accumulated counters of the hot ways are
+// never disturbed by miss traffic.
+template <typename Way, typename EmptyFn>
+int finger_victim_pick(Way* ways, int n, unsigned& hand, unsigned& ticks,
+                       EmptyFn&& is_empty) noexcept {
+  for (int i = 0; i < n; ++i)
+    if (is_empty(ways[i])) return i;
+  if (++ticks >= kFingerAgePeriod) {
+    ticks = 0;
+    for (int i = 0; i < n; ++i) ways[i].freq >>= 1;
+  }
+  int victim = static_cast<int>(hand) % n;
+  for (int off = 1; off < n; ++off) {
+    const int i = (static_cast<int>(hand) + off) % n;
+    if (ways[i].freq < ways[victim].freq) victim = i;
+  }
+  hand = static_cast<unsigned>((victim + 1) % n);
+  return victim;
+}
+
 // Direct-mapped thread-local slot array for a structure's Slot type. Each
 // distinct Slot type (one per structure template instantiation) gets its
 // own array; instances hash into it by id. A collision between two live
 // instances merely evicts (the id check turns the stale entry into a miss).
-inline constexpr std::size_t kFingerWays = 8;
+// (Distinct from kFingerCacheWays: this is how many INSTANCES of a
+// structure type share a thread's storage, not the per-instance cache
+// associativity.)
+inline constexpr std::size_t kFingerTlsSlots = 8;
 
 template <typename Slot>
 Slot& tls_finger_slot(std::uint64_t instance) noexcept {
-  thread_local Slot slots[kFingerWays] = {};
-  return slots[instance & (kFingerWays - 1)];
+  thread_local Slot slots[kFingerTlsSlots] = {};
+  return slots[instance & (kFingerTlsSlots - 1)];
 }
 
 }  // namespace lf::sync

@@ -76,11 +76,25 @@ class KeyGen {
 
   std::uint64_t key_space() const noexcept { return key_space_; }
 
- private:
-  // Fixed odd-multiplier bijection on [0, 2^b), cycle-walked back into
-  // [0, key_space) when the key space is not a power of two: a permutation
-  // of the key space, so scrambled Zipf keeps its exact popularity
-  // distribution — only the positions move.
+  // Positional scrambler: a permutation of [0, key_space), so scrambled
+  // Zipf keeps its EXACT popularity distribution — only the positions
+  // move. Public so tests can assert the bijection directly.
+  //
+  // Construction (cycle walking): multiplication by a fixed odd constant
+  // is a bijection P on [0, 2^b), where 2^b = mask_ + 1 is key_space
+  // rounded up to a power of two. For k in [0, key_space), apply P
+  // repeatedly until the value re-enters [0, key_space). Restricting a
+  // permutation's cycle structure to a subset this way yields a
+  // permutation OF that subset: distinct inputs stay on distinct cycles
+  // (or distinct positions of one cycle), so they can never collide.
+  //
+  // Termination bound: the walk follows one cycle of P, and a cycle
+  // returns to its in-range starting value k after at most its length
+  // many steps — so the loop executes at most mask_ + 1 < 2 * key_space
+  // iterations in the worst case. In expectation it is far cheaper: more
+  // than half of [0, 2^b) lies in [0, key_space) (since
+  // 2^(b-1) < key_space), so for a well-mixed P each step lands in range
+  // with probability > 1/2 — under two iterations expected per draw.
   std::uint64_t scramble(std::uint64_t k) const noexcept {
     do {
       k = (k * 0x9E3779B97F4A7C15ULL) & mask_;
@@ -88,6 +102,7 @@ class KeyGen {
     return k;
   }
 
+ private:
   KeyDist dist_;
   std::uint64_t key_space_;
   Options opts_;

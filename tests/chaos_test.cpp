@@ -286,7 +286,8 @@ TEST_F(ChaosTest, CrashMatrixFRList) {
                     Site::kListFlagCas, Site::kListMarkCas,
                     Site::kListUnlinkCas, Site::kListBacklinkStep,
                     Site::kListHelpFlagged, Site::kListHelpMarked,
-                    Site::kListFingerValidate, Site::kListFingerFallback}) {
+                    Site::kListFingerValidate, Site::kListFingerFallback,
+                    Site::kListFingerReplace}) {
     run_crash_site<lf::FRList<long, long>>(site);
   }
 }
@@ -297,7 +298,7 @@ TEST_F(ChaosTest, CrashMatrixFRSkipList) {
                     Site::kSkipUnlinkCas, Site::kSkipBacklinkStep,
                     Site::kSkipHelpFlagged, Site::kSkipHelpMarked,
                     Site::kSkipTowerBuild, Site::kSkipFingerValidate,
-                    Site::kSkipFingerFallback}) {
+                    Site::kSkipFingerFallback, Site::kSkipFingerReplace}) {
     run_crash_site<lf::FRSkipList<long, long>>(site);
   }
 }
@@ -318,8 +319,8 @@ TEST_F(ChaosTest, CrashMatrixFRListHazardFinger) {
   using List =
       lf::FRList<long, long, std::less<long>, lf::reclaim::HazardReclaimer>;
   for (Site site : {Site::kListFingerValidate, Site::kListFingerFallback,
-                    Site::kListFingerPublish, Site::kHazardFingerReacquire,
-                    Site::kHazardFingerHop}) {
+                    Site::kListFingerPublish, Site::kListFingerReplace,
+                    Site::kHazardFingerReacquire, Site::kHazardFingerHop}) {
     run_crash_site<List>(site);
   }
 }
@@ -328,7 +329,7 @@ TEST_F(ChaosTest, CrashMatrixFRSkipListHazardFinger) {
   using Skip = lf::FRSkipList<long, long, std::less<long>,
                               lf::reclaim::HazardReclaimer>;
   for (Site site : {Site::kSkipFingerValidate, Site::kSkipFingerFallback,
-                    Site::kSkipFingerPublish}) {
+                    Site::kSkipFingerPublish, Site::kSkipFingerReplace}) {
     run_crash_site<Skip>(site);
   }
 }

@@ -97,6 +97,92 @@ TEST(Finger, RepeatedFindIsFreeFRSkipListHazard) {
   expect_repeat_find_is_free(s);
 }
 
+// ---- Multi-way hot set: k fingers serve k hot keys at once ----------------
+
+// The set-associative upgrade's core promise: a working set of kFingerWays
+// distinct hot keys round-robins through the cache with every search a
+// zero-step hit — the single-finger layer could only ever serve the LAST
+// key. Two priming rounds let the way set converge (installs start at
+// frequency zero and may briefly evict each other); after that the state is
+// absorbing: every find refreshes its own way in place and nothing is ever
+// replaced.
+TEST(Finger, MultiWayHotSetAllFourKeysStayFree) {
+  lf::FRList<long, long> list;
+  for (long k = 10; k <= 80; k += 10) ASSERT_TRUE(list.insert(k, k));
+  constexpr long kHot[] = {20, 40, 60, 80};
+  for (int round = 0; round < 2; ++round)
+    for (long k : kHot) ASSERT_TRUE(list.find(k).has_value());
+  const auto before = aggregate();
+  constexpr int kRounds = 25;
+  for (int round = 0; round < kRounds; ++round)
+    for (long k : kHot) ASSERT_TRUE(list.find(k).has_value());
+  const auto delta = aggregate() - before;
+  EXPECT_EQ(delta.finger_hit, static_cast<std::uint64_t>(4 * kRounds));
+  EXPECT_EQ(delta.finger_miss, 0u);
+  // Each find starts at ITS OWN cached bracket, not a neighbor's: zero
+  // traversal steps, exactly like the single-key repeat tests above.
+  EXPECT_EQ(delta.curr_update, 0u);
+}
+
+// Skip-list shape: four hot keys spread across the key space, each served
+// by its own level-1 bracket way (upper-level ways churn, but the level-1
+// cache converges to exactly the hot set and then never replaces).
+TEST(Finger, SkipListMultiWayHotSetAllFourKeysHit) {
+  lf::FRSkipList<long, long> s;
+  for (long k = 0; k < 256; ++k) ASSERT_TRUE(s.insert(k, k));
+  constexpr long kHot[] = {40, 100, 170, 230};
+  for (int round = 0; round < 2; ++round)
+    for (long k : kHot) ASSERT_TRUE(s.find(k).has_value());
+  const auto before = aggregate();
+  constexpr int kRounds = 25;
+  for (int round = 0; round < kRounds; ++round)
+    for (long k : kHot) ASSERT_TRUE(s.find(k).has_value());
+  const auto delta = aggregate() - before;
+  EXPECT_EQ(delta.finger_hit, static_cast<std::uint64_t>(4 * kRounds));
+  EXPECT_EQ(delta.finger_miss, 0u);
+  EXPECT_TRUE(s.validate().ok);
+}
+
+// Replacement policy: a frequently-hit way must survive a stream of
+// one-shot cold keys. The colds DESCEND from the top of the key space
+// (each cached cold bracket then sits on the wrong side of the next cold
+// key), so every cold find is a guaranteed probe miss that forces a
+// replacement — three per round, cycling the aging period several times
+// over the run. The hot key sits above the whole cold range: its find must
+// stay a ZERO-STEP hit every single round, which is possible only if the
+// hot way is never chosen as the replacement victim. This is the test that
+// rules out recency-only (clock) replacement: with three replacements per
+// round a clock hand laps the set between hot references, clears the hot
+// way's use bit and evicts it within a couple of rounds — only a frequency
+// counter survives the pressure.
+TEST(Finger, HotWaySurvivesColdMissStream) {
+  lf::FRList<long, long> list;
+  for (long k = 0; k <= 600; k += 2) ASSERT_TRUE(list.insert(k, k));
+  constexpr long kHot = 601;
+  ASSERT_TRUE(list.insert(kHot, kHot));
+  // Build the hot way's frequency before the cold stream starts.
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(list.find(kHot).has_value());
+  constexpr int kRounds = 48;
+  for (int round = 0; round < kRounds; ++round) {
+    const auto before = aggregate();
+    ASSERT_TRUE(list.find(kHot).has_value());
+    const auto delta = aggregate() - before;
+    EXPECT_EQ(delta.finger_hit, 1u) << "round " << round;
+    EXPECT_EQ(delta.curr_update, 0u) << "round " << round;
+    // Three distinct cold keys, never repeated, all below the hot key and
+    // descending: deterministic misses, head-started searches.
+    for (int j = 0; j < 3; ++j) {
+      const long cold = 600 - 2 * (3 * round + j);
+      const auto b = aggregate();
+      ASSERT_TRUE(list.find(cold).has_value());
+      const auto d = aggregate() - b;
+      EXPECT_EQ(d.finger_miss, 1u) << "cold " << cold;
+      EXPECT_EQ(d.finger_hit, 0u) << "cold " << cold;
+    }
+  }
+  EXPECT_TRUE(list.validate().ok);
+}
+
 // ---- Static off: FingerOff means zero finger traffic ----------------------
 
 TEST(Finger, FingerOffKeepsCountersAtZero) {
@@ -211,6 +297,35 @@ TEST(Finger, RecycledFingerRejectedByReuseStamp) {
   EXPECT_TRUE(list.validate_counts());
 }
 
+// Per-way stamp validation: recycling ONE cached node must kill only that
+// way. The other ways' nodes were never recycled, so their stamps still
+// match and they keep serving zero-step hits.
+TEST(Finger, RecycledWayRejectedWhileOtherWaysSurvive) {
+  lf::FRListRC<long, long> list;
+  for (long k : {10, 20, 30, 40, 50}) ASSERT_TRUE(list.insert(k, k));
+  ASSERT_TRUE(list.find(20).has_value());  // way A -> node 20
+  ASSERT_TRUE(list.find(40).has_value());  // way B -> node 40
+  std::thread helper([&] {
+    ASSERT_TRUE(list.erase(20));       // node 20 goes to the free list
+    ASSERT_TRUE(list.insert(99, 99));  // LIFO free list: reuses its memory
+  });
+  helper.join();
+  const auto before = aggregate();
+  // Way B first: its bracket [40, 50] is untouched by the recycle.
+  ASSERT_TRUE(list.find(40).has_value());
+  const auto mid = aggregate() - before;
+  EXPECT_EQ(mid.finger_hit, 1u);
+  EXPECT_EQ(mid.finger_miss, 0u);
+  EXPECT_EQ(mid.curr_update, 0u);
+  // Way A: the re-acquired node carries a bumped reuse stamp — a different
+  // incarnation — and must be rejected without poisoning way B.
+  EXPECT_FALSE(list.find(20).has_value());
+  const auto delta = aggregate() - before;
+  EXPECT_EQ(delta.finger_miss, 1u);
+  EXPECT_TRUE(list.contains(99));
+  EXPECT_TRUE(list.validate_counts());
+}
+
 // ---- Validation under hazard pointers (publish-then-revalidate) -----------
 
 // Backlink recovery with reclamation racing it: another thread erases the
@@ -263,6 +378,42 @@ TEST(Finger, HazardDeletedSkipFingerRecoversThroughBacklink) {
   const auto delta = aggregate() - before;
   EXPECT_EQ(delta.finger_hit, 1u);
   EXPECT_TRUE(s.validate().ok);
+}
+
+// The grown retained-slot budget, end to end: TWO ways' nodes are erased
+// and real reclamation runs (drain + scan) while both publications are
+// live. The scan must chain-walk EVERY published entry — not just the
+// first — sparing both nodes and both backlink chains; each next search
+// then re-acquires its own way and recovers through its own backlink. A
+// scan that only walked entry 0 would free node 40 and this test would be
+// a use-after-free under ASan.
+TEST(Finger, HazardScanSparesAllPublishedWays) {
+  HazardDomain hdom;
+  EpochDomain edom;
+  HazardReclaimer rec(edom, hdom);
+  HPList list(rec);
+  for (long k : {10, 20, 30, 40, 50}) ASSERT_TRUE(list.insert(k, k));
+  ASSERT_TRUE(list.find(20).has_value());  // way A -> node 20, published
+  ASSERT_TRUE(list.find(40).has_value());  // way B -> node 40, published
+  std::thread eraser([&] {
+    ASSERT_TRUE(list.erase(20));
+    ASSERT_TRUE(list.erase(40));
+    for (int r = 0; r < 64; ++r) {
+      for (long k = 100; k < 140; ++k) ASSERT_TRUE(list.insert(k, k));
+      for (long k = 100; k < 140; ++k) ASSERT_TRUE(list.erase(k));
+    }
+    edom.drain();  // both victims reach the hazard stage
+    hdom.scan();   // must spare nodes 20 AND 40: both entries are retained
+  });
+  eraser.join();
+  const auto before = aggregate();
+  EXPECT_FALSE(list.find(20).has_value());
+  EXPECT_FALSE(list.find(40).has_value());
+  const auto delta = aggregate() - before;
+  EXPECT_EQ(delta.finger_hit, 2u);  // both recovered via their backlinks
+  EXPECT_EQ(delta.finger_miss, 0u);
+  EXPECT_GE(delta.backlink_traversal, 2u);
+  EXPECT_TRUE(list.validate().ok);
 }
 
 // Multi-level hazard fingers (one retained slot per level, each holding

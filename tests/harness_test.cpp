@@ -132,6 +132,49 @@ TEST(KeyGen, ZipfSkewsTowardLowRanks) {
   EXPECT_GT(low, 2000);  // top-10 ranks draw a large share under theta=.99
 }
 
+// scramble() must be a PERMUTATION of [0, key_space): if two ranks ever
+// mapped to the same key, scrambled Zipf would merge their popularity mass
+// and E13's hit-rate tables would measure a different distribution than
+// the unscrambled control. Exhaustive check: every output in range, no
+// output repeated — over the whole key space, that is exactly bijectivity
+// (and hence exact popularity preservation, rank for rank).
+void expect_scramble_bijective(std::uint64_t key_space) {
+  lf::workload::KeyGen g(lf::workload::KeyDist::kZipfian, key_space, 1, 0.99,
+                         {.scramble = true});
+  std::vector<bool> seen(key_space, false);
+  for (std::uint64_t k = 0; k < key_space; ++k) {
+    const std::uint64_t s = g.scramble(k);
+    ASSERT_LT(s, key_space) << "input " << k;
+    ASSERT_FALSE(seen[s]) << "collision at input " << k << " -> " << s;
+    seen[s] = true;
+  }
+}
+
+TEST(KeyGen, ScrambleBijectiveSmallKeySpace) {
+  expect_scramble_bijective(16);   // power of two: no cycle walking needed
+  expect_scramble_bijective(2);    // degenerate edge
+}
+
+TEST(KeyGen, ScrambleBijectiveNonPowerOfTwoKeySpace) {
+  expect_scramble_bijective(3);     // walks within a 4-cycle domain
+  expect_scramble_bijective(1000);  // walks within a 1024 domain
+  expect_scramble_bijective(4097);  // just past a power of two: worst
+                                    // in-range density (~50%), the
+                                    // longest expected cycle walks
+}
+
+TEST(KeyGen, ScrambleIsDecorrelatedFromRank) {
+  // The point of scrambling: the hottest ranks must not stay clustered at
+  // the left edge. With 4096 keys, ranks 0..9 should not all land in the
+  // bottom quarter of the key space.
+  lf::workload::KeyGen g(lf::workload::KeyDist::kZipfian, 4096, 1, 0.99,
+                         {.scramble = true});
+  int bottom_quarter = 0;
+  for (std::uint64_t k = 0; k < 10; ++k)
+    if (g.scramble(k) < 1024) ++bottom_quarter;
+  EXPECT_LT(bottom_quarter, 10);
+}
+
 TEST(OpMix, RespectsPercentages) {
   lf::workload::OpMix mix{30, 20};
   lf::Xoshiro256 rng(4);

@@ -13,9 +13,17 @@ Matching is schema-agnostic: each entry of a file's "configs" array is
 flattened, every non-float scalar field (layout, reclaimer, workload,
 threads, finger, ...) becomes part of the configuration's identity, and
 every field named `essential_steps_per_op` (at any nesting depth, e.g. the
-per-phase objects of BENCH_memory_layout.json) is compared. Configurations
-present on only one side — new benchmarks, renamed axes — are reported and
-skipped, so evolving a bench never fails the gate by itself.
+per-phase objects of BENCH_memory_layout.json) is compared. Provenance
+fields (IGNORED_FIELDS below: git SHA, hostname, timestamps, toolchain
+strings) are excluded from the identity — they change on every run, so
+folding them in would make every configuration look brand-new and silently
+disable the gate. Configurations present on only one side — new
+benchmarks, renamed axes — are reported and skipped, so evolving a bench
+never fails the gate by itself.
+
+`finger_hit_rate` deltas are REPORTED but never gated: hit rates shift
+with cache-policy tuning in ways steps/op already prices in, so they are
+surfaced for the log reader only.
 
 Usage:
     bench_trend.py --current DIR --previous DIR [--tolerance 0.10]
@@ -31,6 +39,21 @@ import os
 import sys
 
 METRIC = "essential_steps_per_op"
+
+# Informational metric: deltas are printed, never gated.
+INFO_METRIC = "finger_hit_rate"
+
+# Provenance fields: non-float scalars that describe the RUN, not the
+# configuration. Excluded from identity by leaf name — a run-unique value
+# in the identity would mark every configuration [new]/[gone] and the gate
+# would never compare anything.
+IGNORED_FIELDS = {
+    "git_sha", "sha", "commit", "branch",
+    "hostname", "host", "runner",
+    "timestamp", "date", "time", "started_at",
+    "compiler", "compiler_version", "build_type", "cmake_version",
+    "os", "kernel", "cpu_model",
+}
 
 # Ignore regressions smaller than this many absolute steps/op: near-zero
 # baselines (e.g. a fingered repeat-range at ~0.2 steps/op) would otherwise
@@ -58,13 +81,18 @@ def config_table(path):
     for config in doc.get("configs", []):
         identity = []
         metrics = {}
+        info = {}
         for field, value in flatten(config):
             leaf = field.rsplit(".", 1)[-1]
             if leaf == METRIC:
                 metrics[field] = float(value)
+            elif leaf == INFO_METRIC:
+                info[field] = float(value)
+            elif leaf in IGNORED_FIELDS:
+                continue
             elif isinstance(value, (str, bool, int)):
                 identity.append((field, value))
-        table[tuple(sorted(identity))] = metrics
+        table[tuple(sorted(identity))] = (metrics, info)
     return table
 
 
@@ -73,17 +101,22 @@ def describe(identity):
                     for field, value in identity)
 
 
+# Hit-rate deltas smaller than this are noise; don't clutter the log.
+HIT_RATE_REPORT_DELTA = 0.02
+
+
 def compare_file(name, current_path, previous_path, tolerance):
     current = config_table(current_path)
     previous = config_table(previous_path)
     regressions = []
-    for identity, metrics in current.items():
+    for identity, (metrics, info) in current.items():
         base = previous.get(identity)
         if base is None:
             print(f"  [new]  {name}: {describe(identity)}")
             continue
+        base_metrics, base_info = base
         for field, value in metrics.items():
-            old = base.get(field)
+            old = base_metrics.get(field)
             if old is None:
                 continue
             if value > old * (1.0 + tolerance) and value - old > ABS_SLACK:
@@ -91,6 +124,12 @@ def compare_file(name, current_path, previous_path, tolerance):
                     f"{name}: {describe(identity)} [{field}] "
                     f"{old:.3f} -> {value:.3f} "
                     f"(+{100.0 * (value / old - 1.0):.1f}%)")
+        for field, value in info.items():
+            old = base_info.get(field)
+            if old is None or abs(value - old) < HIT_RATE_REPORT_DELTA:
+                continue
+            print(f"  [info] {name}: {describe(identity)} [{field}] "
+                  f"{old:.3f} -> {value:.3f} ({value - old:+.3f}, not gated)")
     for identity in previous:
         if identity not in current:
             print(f"  [gone] {name}: {describe(identity)}")
