@@ -35,7 +35,8 @@ constexpr const char* kSiteNames[kSiteCount] = {
     "skip/finger_fallback", "skip/finger_publish", "skip/finger_replace",
     "base/insert_cas",
     "base/mark_cas",     "base/unlink_cas",  "epoch/pin",
-    "epoch/retire",      "epoch/advance",    "hazard/retire",
+    "epoch/retire",      "epoch/advance",    "epoch/eject",
+    "epoch/eject_ack",   "hazard/retire",
     "hazard/scan",       "hazard/finger_reacquire", "hazard/finger_hop",
     "pool/alloc",        "pool/segment",
     "pool/free",         "test/op_boundary",

@@ -90,6 +90,11 @@ enum class Site : int {
   kEpochPin,      // EpochDomain::Guard: outermost pin
   kEpochRetire,   // EpochDomain::retire_erased
   kEpochAdvance,  // EpochDomain::try_advance entry (before the lock)
+  kEpochEject,    // EpochDomain: a stalled pin was neutralized (fires after
+                  // the registry lock is released — parking here must not
+                  // block the domain)
+  kEpochEjectAck, // EpochDomain: ejected thread acknowledging at unpin /
+                  // re-pin (entry, before the registry lock)
   kHazardRetire,  // HazardDomain::retire_erased
   kHazardScan,    // HazardDomain::scan_record entry
   kHazardFingerReacquire,  // HazardDomain::reacquire_finger entry (reuse of

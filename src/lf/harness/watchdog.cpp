@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "lf/chaos/chaos.h"
+#include "lf/reclaim/epoch.h"
 
 namespace lf::harness {
 
@@ -65,6 +66,10 @@ void Watchdog::monitor_loop() {
   std::vector<std::uint64_t> last(static_cast<std::size_t>(threads_), 0);
   std::vector<Clock::time_point> moved(static_cast<std::size_t>(threads_),
                                        Clock::now());
+  std::vector<bool> escalated(static_cast<std::size_t>(threads_), false);
+  const bool can_escalate = static_cast<bool>(opts_.on_stall_report) ||
+                            static_cast<bool>(opts_.remediate) ||
+                            opts_.epoch_domain != nullptr;
   while (!stop_.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(opts_.poll_interval);
     const auto now = Clock::now();
@@ -76,19 +81,50 @@ void Watchdog::monitor_loop() {
           s.parked.load(std::memory_order_acquire)) {
         last[i] = b;
         moved[i] = now;
+        escalated[i] = false;  // progress forgives: the ladder restarts
         continue;
       }
-      if (now - moved[i] >= opts_.stall_timeout) {
-        stalled_.store(true, std::memory_order_release);
+      if (now - moved[i] < opts_.stall_timeout) continue;
+      if (can_escalate && !escalated[i]) {
+        // Rung 1 of the ladder: structured report, then remediation, then
+        // a full fresh stall window for it to take effect. Only a thread
+        // that stays frozen through that second window reaches on_stall.
+        escalated[i] = true;
+        StallReport report;
+        report.thread = t;
+        report.stalled_for =
+            std::chrono::duration_cast<std::chrono::milliseconds>(now -
+                                                                  moved[i]);
         std::ostringstream head;
         head << "watchdog: thread " << t << " made no progress for "
-             << std::chrono::duration_cast<std::chrono::milliseconds>(
-                    now - moved[i])
-                    .count()
-             << " ms\n";
-        opts_.on_stall(head.str() + dump());
-        return;  // one report per run; handler usually aborts anyway
+             << report.stalled_for.count() << " ms; escalating\n";
+        report.details = head.str() + dump();
+        if (opts_.epoch_domain != nullptr) {
+          report.details += opts_.epoch_domain->stall_report();
+        }
+        escalations_.fetch_add(1, std::memory_order_acq_rel);
+        if (opts_.on_stall_report) opts_.on_stall_report(report);
+        if (opts_.remediate) {
+          opts_.remediate();
+        } else if (opts_.epoch_domain != nullptr) {
+          opts_.epoch_domain->remediate_now();
+        }
+        moved[i] = now;
+        continue;
       }
+      stalled_.store(true, std::memory_order_release);
+      std::ostringstream head;
+      head << "watchdog: thread " << t << " made no progress for "
+           << std::chrono::duration_cast<std::chrono::milliseconds>(
+                  now - moved[i])
+                  .count()
+           << " ms" << (can_escalate ? " after remediation" : "") << "\n";
+      std::string details = head.str() + dump();
+      if (opts_.epoch_domain != nullptr) {
+        details += opts_.epoch_domain->stall_report();
+      }
+      opts_.on_stall(details);
+      return;  // one report per run; handler usually aborts anyway
     }
   }
 }

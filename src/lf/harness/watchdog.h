@@ -11,6 +11,15 @@
 //
 // The hot path is a single relaxed increment; the monitor owns all
 // clock reads.
+//
+// Escalation ladder (DESIGN.md §11): detection alone only diagnoses; with
+// the resilience hooks set, the watchdog escalates detect → structured
+// StallReport (per-thread progress, chaos state, and the epoch domain's
+// per-slot pinned-epoch/backlog/quarantine dump) → remediation trigger
+// (default: EpochDomain::remediate_now(), which lets the stalled-pin
+// detector neutralize a dead reader) — and only if the same thread is
+// still stalled a full stall_timeout AFTER remediation does the fatal
+// on_stall handler fire. With no hooks set, behavior is unchanged.
 #pragma once
 
 #include <atomic>
@@ -22,10 +31,22 @@
 #include <thread>
 #include <vector>
 
+namespace lf::reclaim {
+class EpochDomain;
+}
+
 namespace lf::harness {
 
 class Watchdog {
  public:
+  // Structured first-stall report handed to on_stall_report before any
+  // remediation runs.
+  struct StallReport {
+    int thread = -1;                        // the stalled worker index
+    std::chrono::milliseconds stalled_for{0};
+    std::string details;  // progress table + chaos state + epoch stall dump
+  };
+
   struct Options {
     std::chrono::milliseconds stall_timeout{120'000};
     std::chrono::milliseconds poll_interval{250};
@@ -33,6 +54,16 @@ class Watchdog {
     // the dump to stderr and calls std::abort() so CI fails in minutes,
     // not hours. Tests install a handler instead of aborting.
     std::function<void(const std::string&)> on_stall;
+
+    // ---- Escalation hooks (all optional; see the header comment) ----
+    // First stall of a thread: receives the structured report.
+    std::function<void(const StallReport&)> on_stall_report;
+    // Remediation to run after the report. When unset but epoch_domain is
+    // set, defaults to epoch_domain->remediate_now().
+    std::function<void()> remediate;
+    // Domain whose stall_report() is appended to StallReport::details and
+    // whose remediate_now() is the default remediation.
+    reclaim::EpochDomain* epoch_domain = nullptr;
   };
 
   Watchdog(int threads, Options opts);
@@ -68,6 +99,11 @@ class Watchdog {
     return stalled_.load(std::memory_order_acquire);
   }
 
+  // How many first-stall escalations (report + remediation) have fired.
+  std::uint64_t escalations() const noexcept {
+    return escalations_.load(std::memory_order_acquire);
+  }
+
   // The per-thread progress table the stall handler receives; exposed for
   // tests and for callers that dump state on their own terms.
   std::string dump() const;
@@ -86,6 +122,7 @@ class Watchdog {
   Options opts_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> stalled_{false};
+  std::atomic<std::uint64_t> escalations_{0};
   std::thread monitor_;
 };
 

@@ -46,11 +46,26 @@ namespace lf::stats {
 //   finger_skip          levels NOT descended thanks to a finger hit,
 //                        i.e. (head entry level - finger entry level)
 //                        summed over hits — the "steps saved" proxy
+//   epoch_eject          epoch slots neutralized by a stalled-pin advancer
+//                        (reclaim/epoch.h: the slot's pin no longer blocks
+//                        the global epoch; frees divert to quarantine)
+//   epoch_eject_ack      ejected guards acknowledged at unpin (the thread
+//                        resumed; once no ejections are outstanding the
+//                        quarantine drains)
+//   quarantine_in        retired nodes diverted to a domain quarantine
+//                        because an ejection was outstanding at free time
+//   quarantine_free      quarantine nodes freed after recovery (every
+//                        ejected reader acknowledged or was declared dead)
+//   orphan_adopt         stalled-thread resources adopted by a survivor:
+//                        epoch limbo buckets, hazard retire lists/finger
+//                        entries, pool freelist blocks (one inc per record)
 //
 // The finger_* counters are bookkeeping for the hint layer (sync/finger.h),
 // NOT steps of the paper's cost model: essential_steps() must never include
 // them. Work a finger actually causes (its backlink-recovery hops, the
 // traversal from the hint) is already charged to the regular step counters.
+// The resilience counters (epoch_eject .. orphan_adopt) are likewise
+// bookkeeping for the stalled-thread subsystem, never essential steps.
 #define LF_STEP_COUNTER_FIELDS(X) \
   X(cas_attempt)                  \
   X(cas_success)                  \
@@ -71,7 +86,12 @@ namespace lf::stats {
   X(op_search)                    \
   X(finger_hit)                   \
   X(finger_miss)                  \
-  X(finger_skip)
+  X(finger_skip)                  \
+  X(epoch_eject)                  \
+  X(epoch_eject_ack)              \
+  X(quarantine_in)                \
+  X(quarantine_free)              \
+  X(orphan_adopt)
 
 // Single-writer counter readable by other threads. The owner's increment is a
 // relaxed load+store pair (no lock prefix); concurrent readers may observe a

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "lf/chaos/chaos.h"
+#include "lf/instrument/counters.h"
 
 namespace lf::mem {
 namespace {
@@ -38,10 +39,21 @@ constexpr std::size_t fitting_class(std::size_t bytes) {
 // Heap-allocated and never destroyed so blocks freed during late static
 // teardown (e.g. the global epoch domain draining after main()) still have
 // live segments under them.
+struct ThreadCache;
+
+// Live thread caches by owner, for stalled-thread adoption. Guarded by
+// SharedPool::mu; entries are registered on first cache touch and removed
+// by the cache's own destructor on clean thread exit.
+struct CacheRef {
+  ThreadCache* cache;
+  std::thread::id owner;
+};
+
 struct SharedPool {
   std::mutex mu;
   FreeBlock* freelists[kNumClasses] = {};
   std::vector<void*> segments;  // owned; never returned to the OS
+  std::vector<CacheRef> caches;
 
   std::atomic<std::uint64_t> requests{0};
   std::atomic<std::uint64_t> fresh{0};
@@ -51,6 +63,7 @@ struct SharedPool {
   std::atomic<std::uint64_t> oversize{0};
   std::atomic<std::uint64_t> heap_allocs{0};
   std::atomic<std::uint64_t> heap_frees{0};
+  std::atomic<std::uint64_t> adopted{0};
 };
 
 SharedPool& shared() {
@@ -78,6 +91,8 @@ struct ThreadCache {
       freelists[cls] = b;
     }
     std::lock_guard lock(s.mu);
+    std::erase_if(s.caches,
+                  [this](const CacheRef& r) { return r.cache == this; });
     for (std::size_t cls = 0; cls < kNumClasses; ++cls) {
       if (freelists[cls] == nullptr) continue;
       FreeBlock* tail = freelists[cls];
@@ -98,7 +113,14 @@ thread_local ThreadCache* tls_ptr = nullptr;
 
 struct TlsCacheOwner {
   ThreadCache cache;
-  TlsCacheOwner() { tls_ptr = &cache; }
+  TlsCacheOwner() {
+    SharedPool& s = shared();
+    {
+      std::lock_guard lock(s.mu);
+      s.caches.push_back(CacheRef{&cache, std::this_thread::get_id()});
+    }
+    tls_ptr = &cache;
+  }
   ~TlsCacheOwner() { tls_ptr = nullptr; }  // cache's dtor donates after this
 };
 
@@ -236,6 +258,51 @@ void pool_deallocate(void* p, std::size_t bytes) {
   cp->freelists[cls] = b;
 }
 
+std::uint64_t pool_adopt_stalled(std::thread::id tid) {
+  SharedPool& s = shared();
+  std::uint64_t adopted = 0;
+  {
+    // Under s.mu for the registry and the shared freelists; access to the
+    // victim's own cache fields is covered by the caller's park/death
+    // contract (pool.h), the same reasoning clean thread exit relies on.
+    std::lock_guard lock(s.mu);
+    for (const CacheRef& ref : s.caches) {
+      if (ref.owner != tid) continue;
+      ThreadCache& c = *ref.cache;
+      while (c.bump != nullptr &&
+             static_cast<std::size_t>(c.bump_end - c.bump) >= kGranule) {
+        const std::size_t cls =
+            fitting_class(static_cast<std::size_t>(c.bump_end - c.bump));
+        auto* b = reinterpret_cast<FreeBlock*>(c.bump);
+        c.bump += class_bytes(cls);
+        b->next = s.freelists[cls];
+        s.freelists[cls] = b;
+        ++adopted;
+      }
+      c.bump = nullptr;
+      c.bump_end = nullptr;
+      for (std::size_t cls = 0; cls < kNumClasses; ++cls) {
+        if (c.freelists[cls] == nullptr) continue;
+        FreeBlock* tail = c.freelists[cls];
+        ++adopted;
+        while (tail->next != nullptr) {
+          tail = tail->next;
+          ++adopted;
+        }
+        tail->next = s.freelists[cls];
+        s.freelists[cls] = c.freelists[cls];
+        c.freelists[cls] = nullptr;
+      }
+      break;
+    }
+  }
+  if (adopted > 0) {
+    s.adopted.fetch_add(adopted, std::memory_order_relaxed);
+    stats::tls().orphan_adopt.inc(adopted);
+  }
+  return adopted;
+}
+
 PoolTotals pool_totals() {
   SharedPool& s = shared();
   PoolTotals t;
@@ -247,6 +314,7 @@ PoolTotals pool_totals() {
   t.oversize = s.oversize.load(std::memory_order_relaxed);
   t.heap_allocs = s.heap_allocs.load(std::memory_order_relaxed);
   t.heap_frees = s.heap_frees.load(std::memory_order_relaxed);
+  t.adopted_blocks = s.adopted.load(std::memory_order_relaxed);
   return t;
 }
 

@@ -43,6 +43,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <thread>
 
 #include "lf/util/align.h"
 
@@ -67,6 +68,7 @@ struct PoolTotals {
   std::uint64_t oversize = 0;        // requests > kMaxPooledBytes (global)
   std::uint64_t heap_allocs = 0;     // HeapAlloc::allocate calls
   std::uint64_t heap_frees = 0;      // HeapAlloc::deallocate calls
+  std::uint64_t adopted_blocks = 0;  // blocks scavenged by pool_adopt_stalled
 
   // Global-allocator hits attributable to pooled allocation.
   std::uint64_t global_hits() const noexcept { return segments + oversize; }
@@ -81,6 +83,7 @@ struct PoolTotals {
     out.oversize = oversize - rhs.oversize;
     out.heap_allocs = heap_allocs - rhs.heap_allocs;
     out.heap_frees = heap_frees - rhs.heap_frees;
+    out.adopted_blocks = adopted_blocks - rhs.adopted_blocks;
     return out;
   }
 };
@@ -91,6 +94,17 @@ struct PoolTotals {
 void* pool_allocate(std::size_t bytes);
 void pool_deallocate(void* p, std::size_t bytes);
 PoolTotals pool_totals();
+
+// Stalled-thread adoption (DESIGN.md §11): donate the thread cache of a
+// thread the CALLER VOUCHES cannot run concurrently with this call (parked
+// with a happens-before edge, or verifiably dead) to the shared pool — its
+// per-class freelists are spliced in and its unfinished bump region is
+// chopped into blocks, exactly as clean thread exit would have done. The
+// cache itself stays registered: if the thread resumes it simply finds
+// empty freelists and refills through the normal shared-pool/segment path.
+// Returns the number of blocks scavenged (also surfaced as
+// PoolTotals::adopted_blocks).
+std::uint64_t pool_adopt_stalled(std::thread::id tid);
 
 // 64-byte-aligned global-allocator path with the same interface, so the
 // allocation policy is a template knob and benchmarks can compare like

@@ -29,15 +29,36 @@
 //   * Threads may come and go: a thread's limbo lists are orphaned to the
 //     domain on thread exit and adopted by a later advancer.
 //
+// Stalled-thread resilience (DESIGN.md §11): plain EBR is only as live as
+// its slowest reader — a thread parked or killed while pinned stalls the
+// epoch forever and retire backlogs grow without bound. When armed via
+// set_resilience(), the advancer runs a stalled-pin detector: a slot whose
+// state word AND per-slot heartbeat stay frozen across `blame_threshold`
+// consecutive failed advances is NEUTRALIZED (its word is CAS'd to an
+// *ejected* state that no longer blocks the epoch). Ejection alone would be
+// unsound — the parked reader may resume and keep dereferencing — so while
+// any ejection is outstanding every list that becomes freeable diverts into
+// a domain QUARANTINE whose deleters do not run. Only when every ejected
+// reader has acknowledged (its outermost unpin, or its next pin's publish
+// loop, or adopt_stalled() on a thread vouched dead) does the quarantine
+// drain. The epoch makes progress and the backlog is bounded by the churn
+// during the stall, at the cost of deferring — never skipping — the frees.
+//
 // A domain must outlive every thread that ever pinned it; the process-wide
 // default domain (EpochDomain::global()) trivially satisfies this. Tests
 // that create their own domains join their threads first and unpin the main
-// thread's cached slot via the registry's id indirection.
+// thread's cached slot via the registry's id indirection. If a domain is
+// nevertheless destroyed while a thread is still pinned (a parked victim),
+// the destructor diagnoses the contract violation and abandons the slot to
+// an immortal registry instead of handing the victim a dangling pointer —
+// see abandoned_slots().
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "lf/instrument/counters.h"
@@ -87,6 +108,10 @@ class EpochDomain {
   // period. This is the hook pooled/flat-tower layouts use to return
   // blocks to their freelist only once no pinned reader can still hold a
   // pointer into them (mem/tower.h) — the epoch-integrated recycle path.
+  // It is also how the two-stage epoch→hazard handoff (hazard.h Handoff)
+  // composes with the quarantine: a quarantined record keeps its deleter,
+  // so draining it still runs Handoff::pass and the hazard scan's final
+  // protection check before anything is freed.
   void retire_with(void* object, void (*deleter)(void*)) {
     retire_erased(object, deleter);
   }
@@ -113,6 +138,64 @@ class EpochDomain {
     return retired_live_->load(std::memory_order_relaxed);
   }
 
+  // ---- Stalled-thread resilience (DESIGN.md §11) ------------------------
+
+  struct ResilienceOptions {
+    // Arm the stalled-pin detector. Off by default: the hot paths then
+    // behave exactly as plain EBR (unpin stays a single store).
+    bool neutralize = false;
+    // Failed advances blamed on one frozen slot before it is ejected. The
+    // advancer runs every kAdvanceEvery retirements, so the grace bound for
+    // neutralization is ~(blame_threshold + 1) * kAdvanceEvery retirements
+    // of survivor churn after the victim stalls.
+    std::uint32_t blame_threshold = 16;
+    // Documented soft bound on quarantine_depth(): exceeded depth is still
+    // correct (nothing is freed early), but stall reports flag it. The
+    // quarantine only grows while an ejection is outstanding, so its depth
+    // is bounded by survivor churn during the stall window.
+    std::uint64_t quarantine_soft_cap = 1u << 16;
+  };
+
+  // Install resilience options. Arming is sticky: once a domain has been
+  // armed, outermost unpins use a CAS (they must not erase a concurrent
+  // ejection) even if neutralize is later set false.
+  void set_resilience(const ResilienceOptions& opts);
+
+  // Adopt every resource of a thread that the CALLER VOUCHES can no longer
+  // run concurrently with this call (parked with a happens-before edge —
+  // e.g. chaos::wait_parked() — or verifiably dead): its limbo lists move
+  // to the domain orphans (grace period still respected), its slot stops
+  // blocking the epoch, and an outstanding ejection of it is settled.
+  // If the thread may later resume, it must be parked OUTSIDE any guarded
+  // region (its pin-depth and slot registration are left untouched so a
+  // resumed thread unwinds normally). Returns true if the thread owned a
+  // slot here.
+  bool adopt_stalled(std::thread::id tid);
+
+  // Watchdog remediation hook: run the advancer often enough for the blame
+  // detector to eject a stalled pin, then try to drain the quarantine.
+  // Returns true if the epoch moved or quarantined/orphaned memory was
+  // freed. Safe to call from a monitor thread (allocates no slot).
+  bool remediate_now();
+
+  // Human-readable per-slot stall dump: active/ejected bits, pinned epoch,
+  // heartbeat, plus the domain gauges. For watchdog escalation reports.
+  std::string stall_report();
+
+  // Gauges for reports and benches.
+  std::uint64_t quarantine_depth() const noexcept {
+    return quarantine_depth_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t ejected_count() const noexcept {
+    return ejected_count_.load(std::memory_order_relaxed);
+  }
+
+  // Process-wide count of slots abandoned by ~EpochDomain because their
+  // owner thread was still pinned (see class comment). A nonzero value is
+  // a diagnosed contract violation, kept non-fatal so sanitizer jobs can
+  // exercise the teardown path.
+  static std::uint64_t abandoned_slots() noexcept;
+
  private:
   friend class Guard;
 
@@ -127,6 +210,11 @@ class EpochDomain {
   // How many retirements between reclamation attempts.
   static constexpr std::uint64_t kAdvanceEvery = 64;
 
+  // Slot word layout: (epoch << kEpochShift) | ejected | active.
+  static constexpr std::uint64_t kActiveBit = 1;
+  static constexpr std::uint64_t kEjectedBit = 2;
+  static constexpr unsigned kEpochShift = 2;
+
   void retire_erased(void* object, void (*deleter)(void*));
   ThreadState& thread_state();
   ThreadState* acquire_slot();
@@ -135,13 +223,37 @@ class EpochDomain {
   void reclaim_bucket_locally(ThreadState& ts, std::uint64_t observed_epoch);
   static void free_list(RetiredNode* head, std::atomic<std::uint64_t>& live);
 
+  // Free `head` now if no ejection is outstanding, else splice it into the
+  // quarantine (no deleters run). `locked` = registry_mu_ already held.
+  void dispose_list(RetiredNode* head, bool locked);
+  // Detach the quarantine for freeing iff every ejection settled.
+  RetiredNode* detach_quarantine_locked();
+  void free_quarantine(RetiredNode* head);
+  // Settle one outstanding ejection of `ts` (unpin ack or re-pin publish).
+  void settle_ejection(ThreadState* ts, bool clear_state);
+  // Blame detector; returns true when it ejected `ts`. Lock held.
+  bool note_straggler_locked(ThreadState* ts, std::uint64_t word);
+
   CacheAligned<std::atomic<std::uint64_t>> global_epoch_;
   CacheAligned<std::atomic<std::uint64_t>> retired_live_;
+
+  std::atomic<std::uint64_t> ejected_count_{0};    // unsettled ejections
+  std::atomic<std::uint64_t> quarantine_depth_{0};
 
   std::mutex registry_mu_;
   std::vector<ThreadState*> slots_;          // all ever-created slots (owned)
   RetiredNode* orphans_[kBuckets] = {};      // limbo of exited threads
   std::uint64_t orphan_epochs_[kBuckets] = {};
+  RetiredNode* quarantine_ = nullptr;        // deferred frees during ejection
+  ResilienceOptions resilience_;             // guarded by registry_mu_
+  bool armed_ = false;                       // sticky; guarded by registry_mu_
+  // Blame detector state (guarded by registry_mu_): the advance-blocking
+  // slot, its frozen word/heartbeat, and how many consecutive failed
+  // advances it has been blamed for.
+  ThreadState* blamed_slot_ = nullptr;
+  std::uint64_t blamed_word_ = 0;
+  std::uint64_t blamed_beat_ = 0;
+  std::uint32_t blame_streak_ = 0;
 
   const std::uint64_t domain_id_;
 };

@@ -95,11 +95,13 @@ HazardDomain::ThreadSlots* HazardDomain::acquire_record() {
   for (ThreadSlots* rec : records_) {
     if (!rec->in_use_) {
       rec->in_use_ = true;
+      rec->owner_id_ = std::this_thread::get_id();
       return rec;
     }
   }
   auto* rec = new ThreadSlots;
   rec->in_use_ = true;
+  rec->owner_id_ = std::this_thread::get_id();
   records_.push_back(rec);
   return rec;
 }
@@ -122,7 +124,45 @@ void HazardDomain::release_record(ThreadSlots* rec) {
     rec->retired_ = nullptr;
     rec->retired_count_ = 0;
   }
+  rec->owner_id_ = std::thread::id{};
   rec->in_use_ = false;
+}
+
+bool HazardDomain::adopt_stalled(std::thread::id tid) {
+  // Entirely under the registry lock: mutually exclusive with scan stage 2
+  // and invalidate_fingers, so no scanner can be mid-walk from the fingers
+  // we null. The caller's park/death contract (see hazard.h) excludes the
+  // owner itself.
+  std::lock_guard lock(registry_mu_);
+  for (ThreadSlots* rec : records_) {
+    if (!rec->in_use_ || rec->owner_id_ != tid) continue;
+    // Seqlock write side, as in publish_finger: a torn observation makes a
+    // scanner skip this record's chain walk, which is exactly right while
+    // its fingers are being retired.
+    rec->finger_seq_.fetch_add(1, std::memory_order_relaxed);
+    for (int i = 0; i < kFingerEntries; ++i)
+      rec->hp_[kFingerSlot + i].value.store(nullptr,
+                                            std::memory_order_seq_cst);
+    rec->hp_[kFingerHopSlot].value.store(nullptr, std::memory_order_seq_cst);
+    rec->finger_walker_.store(nullptr, std::memory_order_release);
+    rec->finger_tag_.store(0, std::memory_order_release);
+    rec->finger_walk_n_.store(0, std::memory_order_release);
+    rec->finger_seq_.fetch_add(1, std::memory_order_release);
+    // The Michael-list slots [0, kMichaelListSlots) stay published: a
+    // resumable victim may still dereference them (bounded retention).
+    if (rec->retired_ != nullptr) {
+      RetiredNode* tail = rec->retired_;
+      while (tail->next != nullptr) tail = tail->next;
+      tail->next = orphans_;
+      orphans_ = rec->retired_;
+      orphan_count_ += rec->retired_count_;
+      stats::tls().orphan_adopt.inc(rec->retired_count_);
+      rec->retired_ = nullptr;
+      rec->retired_count_ = 0;
+    }
+    return true;
+  }
+  return false;
 }
 
 // ---- Retained-finger slot protocol ----------------------------------------

@@ -58,6 +58,7 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "lf/instrument/counters.h"
@@ -170,6 +171,7 @@ class HazardDomain {
 
     RetiredNode* retired_ = nullptr;
     std::uint64_t retired_count_ = 0;
+    std::thread::id owner_id_{};  // registry-lock-protected; for adoption
     bool in_use_ = false;
   };
 
@@ -228,6 +230,20 @@ class HazardDomain {
   std::uint64_t retired_count() const noexcept {
     return retired_live_->load(std::memory_order_relaxed);
   }
+
+  // Stalled-thread adoption (DESIGN.md §11): scavenge the record of a
+  // thread the CALLER VOUCHES cannot run concurrently with this call
+  // (parked with a happens-before edge, or verifiably dead). Its retained
+  // finger entries, hop slot and finger metadata are cleared — if the
+  // thread resumes, reacquire_finger fails closed without dereferencing —
+  // and its retired list moves to the orphans for the next scan. The
+  // Michael-list slots [0, kMichaelListSlots) are deliberately NOT cleared:
+  // a victim parked mid-protect-walk may dereference them on resume, so a
+  // dead thread retains at most kMichaelListSlots nodes (a bounded, not
+  // growing, cost). Contract: a resumable victim must not be past a
+  // successful reacquire_finger (it would dereference the de-protected
+  // finger). Returns true if the thread owned a record here.
+  bool adopt_stalled(std::thread::id tid);
 
  private:
   struct RetiredNode {

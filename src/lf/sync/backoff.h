@@ -1,4 +1,4 @@
-// Bounded exponential backoff.
+// Bounded backoff with capped decorrelated jitter.
 //
 // The paper's algorithms never need backoff for correctness (lock-freedom is
 // unconditional), but retry storms on one hot C&S target waste cycles and
@@ -7,8 +7,20 @@
 // insert-C&S and flag-C&S retry loops in FRList/FRSkipList (never on a
 // success path, so the uncontended cost is zero and no counted step is
 // affected) and in head-restarting baselines.
+//
+// Why jitter and not pure doubling: with deterministic exponential backoff
+// every loser of a C&S round computes the SAME next delay, so contenders
+// that collided once keep re-colliding in lockstep — the chaos forced-CAS
+// mode (arm_cas_failure_pattern) makes such retry trains reproducible.
+// Decorrelated jitter ("sleep = min(cap, random_between(base, sleep*3))",
+// the AWS variant) breaks the lockstep: each retry draws a fresh delay from
+// a window that grows with contention but is sampled independently per
+// thread. The draw comes from a per-instance splitmix64 stream seeded from
+// the instance's own address and a thread-local counter — no clock and no
+// global RNG, so a fixed schedule still replays identically.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <thread>
 
@@ -31,24 +43,48 @@ inline void cpu_relax() noexcept {
 class Backoff {
  public:
   explicit Backoff(std::uint32_t max_spins = 1024) noexcept
-      : max_spins_(max_spins) {}
+      : max_spins_(max_spins < 1 ? 1 : max_spins), rng_(seed()) {}
 
   void pause() noexcept {
     for (std::uint32_t i = 0; i < current_; ++i) cpu_relax();
-    if (current_ < max_spins_) {
-      current_ *= 2;
-    } else {
+    if (current_ >= max_spins_) {
       // Past the spin budget: yield the core. Essential on machines with
       // fewer cores than threads (like this repo's single-core CI).
       std::this_thread::yield();
     }
+    // Decorrelated jitter: next in [1, 3*current], clamped to the cap. The
+    // window triples with sustained contention (same asymptote as doubling)
+    // but successive losers land on independent delays.
+    const std::uint64_t span = std::uint64_t{3} * current_;
+    current_ = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(max_spins_, 1 + next_u64() % span));
   }
 
   void reset() noexcept { current_ = 1; }
 
+  // Current spin window; exposed so tests can check the cap and growth.
+  std::uint32_t spins() const noexcept { return current_; }
+
  private:
+  // splitmix64: tiny, full-period, statistically fine for jitter.
+  std::uint64_t next_u64() noexcept {
+    std::uint64_t z = (rng_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Distinct per thread (TLS address) and per construction (counter), with
+  // no dependence on time or hardware randomness.
+  static std::uint64_t seed() noexcept {
+    thread_local std::uint64_t ctor_count = 0;
+    return (reinterpret_cast<std::uintptr_t>(&ctor_count) << 16) ^
+           ++ctor_count;
+  }
+
   std::uint32_t current_ = 1;
   std::uint32_t max_spins_;
+  std::uint64_t rng_;
 };
 
 }  // namespace lf::sync

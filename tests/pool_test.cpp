@@ -7,7 +7,9 @@
 // this binary sequentially on one thread unless a test spawns its own).
 #include <gtest/gtest.h>
 
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -116,6 +118,55 @@ TEST(Pool, ExitingThreadDonatesItsFreelist) {
   const PoolTotals d = pool_totals() - before;
   EXPECT_GE(d.recycled_blocks, static_cast<std::uint64_t>(kN));
   for (void* p : blocks) pool_deallocate(p, kBytes);
+}
+
+TEST(Pool, AdoptStalledReclaimsAParkedThreadsCache) {
+  // A worker fills its thread cache (freelist + part of a bump region) and
+  // then parks — the stand-in for a crashed thread whose cache would
+  // otherwise be stranded until process exit. pool_adopt_stalled() donates
+  // the cache to the shared pool so survivors recycle the blocks.
+  constexpr std::size_t kBytes = 11 * lf::mem::kGranule;
+  constexpr int kN = 48;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool parked = false, release = false;
+  std::thread worker([&] {
+    std::vector<void*> blocks;
+    for (int i = 0; i < kN; ++i) blocks.push_back(pool_allocate(kBytes));
+    for (void* p : blocks) pool_deallocate(p, kBytes);
+    std::unique_lock lk(mu);
+    parked = true;
+    cv.notify_all();
+    cv.wait(lk, [&] { return release; });
+  });
+  {
+    std::unique_lock lk(mu);
+    cv.wait(lk, [&] { return parked; });
+  }
+
+  const PoolTotals before = pool_totals();
+  // Unknown threads adopt nothing; the parked worker's cache is found.
+  EXPECT_EQ(lf::mem::pool_adopt_stalled(std::thread::id{}), 0u);
+  const std::uint64_t adopted = lf::mem::pool_adopt_stalled(worker.get_id());
+  EXPECT_GE(adopted, static_cast<std::uint64_t>(kN));
+  EXPECT_GE((pool_totals() - before).adopted_blocks,
+            static_cast<std::uint64_t>(kN));
+
+  // The adopted blocks flow back through the shared pool to this thread.
+  std::vector<void*> blocks;
+  for (int i = 0; i < kN; ++i) blocks.push_back(pool_allocate(kBytes));
+  const PoolTotals d = pool_totals() - before;
+  EXPECT_GE(d.recycled_blocks, static_cast<std::uint64_t>(kN));
+  for (void* p : blocks) pool_deallocate(p, kBytes);
+
+  // The worker resumes with an emptied cache and exits cleanly (its cache
+  // destructor finds nothing left to donate).
+  {
+    std::lock_guard lk(mu);
+    release = true;
+    cv.notify_all();
+  }
+  worker.join();
 }
 
 TEST(Pool, CrossThreadFreeMigratesOwnership) {

@@ -5,6 +5,7 @@
 #include <set>
 #include <vector>
 
+#include "lf/sync/backoff.h"
 #include "lf/util/align.h"
 #include "lf/util/histogram.h"
 #include "lf/util/random.h"
@@ -166,6 +167,42 @@ TEST(Stopwatch, MeasuresElapsedTime) {
   const double t1 = sw.elapsed_seconds();
   for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
   EXPECT_GE(sw.elapsed_seconds(), t1);
+}
+
+TEST(Backoff, WindowStaysWithinCapAndGrows) {
+  lf::sync::Backoff b(64);
+  EXPECT_EQ(b.spins(), 1u);
+  std::uint32_t max_seen = 0;
+  for (int i = 0; i < 300; ++i) {
+    b.pause();
+    EXPECT_GE(b.spins(), 1u);
+    EXPECT_LE(b.spins(), 64u);
+    max_seen = std::max(max_seen, b.spins());
+  }
+  // The jitter window must actually open up under sustained contention.
+  EXPECT_GT(max_seen, 1u);
+}
+
+TEST(Backoff, ResetRestartsTheWindow) {
+  lf::sync::Backoff b(256);
+  for (int i = 0; i < 50; ++i) b.pause();
+  b.reset();
+  EXPECT_EQ(b.spins(), 1u);
+}
+
+TEST(Backoff, JitterDecorrelatesInstances) {
+  // Two contenders must not walk identical delay sequences — that lockstep
+  // (every loser recomputing the same next delay) is exactly the failure
+  // mode decorrelated jitter exists to break.
+  lf::sync::Backoff a(1024);
+  lf::sync::Backoff b(1024);
+  bool diverged = false;
+  for (int i = 0; i < 200 && !diverged; ++i) {
+    a.pause();
+    b.pause();
+    diverged = a.spins() != b.spins();
+  }
+  EXPECT_TRUE(diverged);
 }
 
 }  // namespace

@@ -21,9 +21,12 @@ disable the gate. Configurations present on only one side — new
 benchmarks, renamed axes — are reported and skipped, so evolving a bench
 never fails the gate by itself.
 
-`finger_hit_rate` deltas are REPORTED but never gated: hit rates shift
-with cache-policy tuning in ways steps/op already prices in, so they are
-surfaced for the log reader only.
+Informational metrics (`finger_hit_rate`, and the E14 resilience gauges
+`retire_backlog` / `quarantine_depth`) are REPORTED but never gated: hit
+rates shift with cache-policy tuning in ways steps/op already prices in,
+and the resilience gauges count survivor churn during a wall-clock stall
+window, so their magnitude tracks runner speed. They are surfaced for the
+log reader only.
 
 Usage:
     bench_trend.py --current DIR --previous DIR [--tolerance 0.10]
@@ -40,8 +43,16 @@ import sys
 
 METRIC = "essential_steps_per_op"
 
-# Informational metric: deltas are printed, never gated.
-INFO_METRIC = "finger_hit_rate"
+# Informational metrics: deltas are printed, never gated. Matched by leaf
+# name BEFORE the identity branch — several are emitted as JSON integers,
+# which would otherwise be swallowed into the configuration identity and
+# mark every run [new].
+INFO_METRICS = {"finger_hit_rate", "retire_backlog", "quarantine_depth"}
+
+# Minimum absolute delta worth printing, per informational metric. Rates
+# get a tight threshold; the count-valued gauges a coarse one.
+INFO_REPORT_DELTA = {"finger_hit_rate": 0.02}
+INFO_REPORT_DELTA_DEFAULT = 1.0
 
 # Provenance fields: non-float scalars that describe the RUN, not the
 # configuration. Excluded from identity by leaf name — a run-unique value
@@ -86,7 +97,7 @@ def config_table(path):
             leaf = field.rsplit(".", 1)[-1]
             if leaf == METRIC:
                 metrics[field] = float(value)
-            elif leaf == INFO_METRIC:
+            elif leaf in INFO_METRICS:
                 info[field] = float(value)
             elif leaf in IGNORED_FIELDS:
                 continue
@@ -99,10 +110,6 @@ def config_table(path):
 def describe(identity):
     return " ".join(f"{field.rsplit('.', 1)[-1]}={value}"
                     for field, value in identity)
-
-
-# Hit-rate deltas smaller than this are noise; don't clutter the log.
-HIT_RATE_REPORT_DELTA = 0.02
 
 
 def compare_file(name, current_path, previous_path, tolerance):
@@ -126,7 +133,9 @@ def compare_file(name, current_path, previous_path, tolerance):
                     f"(+{100.0 * (value / old - 1.0):.1f}%)")
         for field, value in info.items():
             old = base_info.get(field)
-            if old is None or abs(value - old) < HIT_RATE_REPORT_DELTA:
+            threshold = INFO_REPORT_DELTA.get(field.rsplit(".", 1)[-1],
+                                              INFO_REPORT_DELTA_DEFAULT)
+            if old is None or abs(value - old) < threshold:
                 continue
             print(f"  [info] {name}: {describe(identity)} [{field}] "
                   f"{old:.3f} -> {value:.3f} ({value - old:+.3f}, not gated)")

@@ -8,7 +8,10 @@ the exit code and log lines. Covers the two PR-5 fixes:
   * provenance fields (git_sha, hostname, timestamp, ...) must not enter a
     configuration's identity — a run-unique value there would mark every
     config [new]/[gone] and silently disable the steps/op gate;
-  * finger_hit_rate deltas are reported ([info] lines) but never gated.
+  * finger_hit_rate deltas are reported ([info] lines) but never gated;
+  * the E14 resilience gauges (retire_backlog / quarantine_depth), emitted
+    as JSON integers, are likewise reported-not-gated — and must not be
+    swallowed into the identity, which would mark every run [new].
 """
 
 import json
@@ -104,6 +107,33 @@ class BenchTrendTest(unittest.TestCase):
     def test_tiny_hit_rate_delta_not_reported(self):
         write_bench(self.previous, [config(10.0, hit_rate=0.400)])
         write_bench(self.current, [config(10.0, hit_rate=0.405)])
+        code, out = run_trend(self.current, self.previous)
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("[info]", out)
+
+    def test_resilience_gauges_reported_not_gated(self):
+        # retire_backlog / quarantine_depth are integers: a naive identity
+        # builder would fold them in (every run [new], gate disabled), and
+        # a naive gate would fail on their growth. They must do neither —
+        # big swings surface as [info] lines, the exit code stays 0.
+        write_bench(self.previous, [config(
+            10.0, provenance={"retire_backlog": 120, "quarantine_depth": 3})])
+        write_bench(self.current, [config(
+            10.0, provenance={"retire_backlog": 9000,
+                              "quarantine_depth": 700})])
+        code, out = run_trend(self.current, self.previous)
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("[new]", out)
+        self.assertNotIn("[gone]", out)
+        self.assertIn("retire_backlog", out)
+        self.assertIn("quarantine_depth", out)
+        self.assertIn("not gated", out)
+
+    def test_unchanged_gauge_not_reported(self):
+        write_bench(self.previous, [config(
+            10.0, provenance={"retire_backlog": 120})])
+        write_bench(self.current, [config(
+            10.0, provenance={"retire_backlog": 120})])
         code, out = run_trend(self.current, self.previous)
         self.assertEqual(code, 0, out)
         self.assertNotIn("[info]", out)
